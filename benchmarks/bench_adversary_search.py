@@ -1,0 +1,78 @@
+"""E8b -- adversary-search ablation.
+
+Quantifies the design choices behind the lower-bound reproduction:
+
+* **candidate family**: cyclic chain-fan family vs linear-order pools vs
+  random pools -- only the cyclic family reaches the LB formula;
+* **score**: quadratic potential vs the naive max-row score;
+* **stride**: the m-subsampling knob of the cyclic family.
+
+The benchmark times one full run of each searcher at a common ``n``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.beam import BeamSearchAdversary
+from repro.adversaries.greedy import GreedyDelayAdversary
+from repro.adversaries.paths import SortedPathAdversary, StaticPathAdversary
+from repro.adversaries.zeiner import CyclicFamilyAdversary, RunnerAdversary
+from repro.analysis.tables import format_table
+from repro.core.bounds import lower_bound, upper_bound
+from repro.core.broadcast import run_adversary
+
+N = 12
+
+
+@pytest.mark.table
+def test_print_search_ablation_table(capsys):
+    contenders = [
+        ("static path (baseline)", StaticPathAdversary(N)),
+        ("sorted path", SortedPathAdversary(N)),
+        ("runner", RunnerAdversary(N)),
+        ("pool greedy", GreedyDelayAdversary(N)),
+        ("pool beam d=2 w=6", BeamSearchAdversary(N, depth=2, width=6)),
+        ("cyclic family stride=4", CyclicFamilyAdversary(N, m_stride=4)),
+        ("cyclic family stride=2", CyclicFamilyAdversary(N, m_stride=2)),
+        ("cyclic family stride=1", CyclicFamilyAdversary(N, m_stride=1)),
+    ]
+    rows = []
+    results = {}
+    for name, adv in contenders:
+        t = run_adversary(adv, N).t_star
+        results[name] = t
+        rows.append((name, t, f"{t / N:.3f}", "yes" if t >= lower_bound(N) else "no"))
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["adversary", f"t* (n={N})", "t*/n", "meets LB formula"],
+                rows,
+                title=(
+                    "E8b: search ablation -- only the cyclic chain-fan family "
+                    f"reaches LB={lower_bound(N)} (UB={upper_bound(N)})"
+                ),
+            )
+        )
+    assert results["cyclic family stride=1"] == lower_bound(N)
+    # The linear-order heuristics stay strictly below the formula.
+    assert results["sorted path"] < lower_bound(N)
+    assert results["runner"] < lower_bound(N)
+    # Everything respects the theorem.
+    assert all(t <= upper_bound(N) for t in results.values())
+
+
+@pytest.mark.parametrize(
+    "factory,label",
+    [
+        (lambda: CyclicFamilyAdversary(N), "cyclic"),
+        (lambda: GreedyDelayAdversary(N), "greedy"),
+        (lambda: BeamSearchAdversary(N, depth=2, width=6), "beam"),
+    ],
+    ids=["cyclic", "greedy", "beam"],
+)
+def test_search_adversary_speed(benchmark, factory, label):
+    adv = factory()
+    result = benchmark(lambda: run_adversary(adv, N))
+    assert result.t_star is not None

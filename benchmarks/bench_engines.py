@@ -1,0 +1,87 @@
+"""E8a -- engine ablation: matrix engine vs process-level simulator.
+
+Both engines implement the identical model (property-tested); this
+ablation quantifies the cost of the process-level view and of the generic
+boolean matmul versus the O(n²) tree fast path.  The design choice
+justified here: the matrix engine with the column-gather composition is
+the default everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core import matrix as M
+from repro.core.broadcast import run_sequence
+from repro.engine.simulator import HeardOfSimulator
+from repro.trees.generators import path, random_tree
+
+
+def _sequence(n: int, rounds: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return [random_tree(n, rng) for _ in range(rounds)]
+
+
+@pytest.mark.parametrize("n", [32, 128, 512])
+def test_matrix_engine_speed(benchmark, n):
+    trees = _sequence(n, rounds=16, seed=0)
+    result = benchmark(lambda: run_sequence(trees, n, stop_at_broadcast=False))
+    assert result.final_state.round_index == 16
+
+
+@pytest.mark.parametrize("n", [32, 128])
+def test_process_engine_speed(benchmark, n):
+    trees = _sequence(n, rounds=16, seed=0)
+
+    def run():
+        sim = HeardOfSimulator(n)
+        sim.run(trees, stop_at_broadcast=False)
+        return sim
+
+    sim = benchmark(run)
+    assert sim.round_index == 16
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_tree_fast_path_vs_generic_matmul(benchmark, n):
+    """The composition ablation: fast path timing (generic checked equal)."""
+    rng = np.random.default_rng(1)
+    tree = random_tree(n, rng)
+    reach = M.identity_matrix(n)
+    for t in _sequence(n, 4, seed=2):
+        reach = M.compose_with_tree(reach, t)
+
+    fast = benchmark(lambda: M.compose_with_tree(reach, tree))
+    generic = M.bool_product(reach, tree.to_adjacency())
+    assert (fast == generic).all()
+
+
+@pytest.mark.table
+def test_print_engine_equivalence_note(capsys):
+    """Record the equivalence + a small side-by-side timing table."""
+    import time
+
+    rows = []
+    for n in (32, 128):
+        trees = _sequence(n, rounds=16, seed=3)
+        t0 = time.perf_counter()
+        mat = run_sequence(trees, n, stop_at_broadcast=False)
+        t_matrix = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sim = HeardOfSimulator(n)
+        sim_t = sim.run(trees, stop_at_broadcast=False)
+        t_sim = time.perf_counter() - t0
+        assert mat.t_star == sim_t
+        rows.append((n, f"{t_matrix * 1e3:.1f}ms", f"{t_sim * 1e3:.1f}ms",
+                     f"{t_sim / max(t_matrix, 1e-9):.0f}x"))
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["n", "matrix engine", "process engine", "slowdown"],
+                rows,
+                title="E8a: engine ablation (identical results, different cost)",
+            )
+        )

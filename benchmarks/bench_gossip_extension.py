@@ -1,0 +1,67 @@
+"""E7 -- the gossip extension (paper Section 5 future work).
+
+Reproduced structural finding: **gossip time is unbounded** under
+adversarial rooted trees -- the adversary that witnesses the broadcast
+lower bound also prevents all-to-all dissemination forever (a static path
+already does).  Under benign random trees gossip completes within a small
+multiple of the broadcast time.
+
+The benchmark times a full random-tree gossip run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.oblivious import RandomTreeAdversary, StaticTreeAdversary
+from repro.adversaries.zeiner import CyclicFamilyAdversary
+from repro.analysis.tables import format_table
+from repro.gossip.gossip import gossip_time_adversary
+from repro.trees.generators import path
+
+NS = [6, 8, 12, 16, 24]
+
+
+@pytest.mark.table
+def test_print_gossip_table(capsys):
+    rows = []
+    for n in NS:
+        adv_res = gossip_time_adversary(CyclicFamilyAdversary(n), n, max_rounds=4 * n)
+        path_res = gossip_time_adversary(StaticTreeAdversary(path(n)), n, max_rounds=4 * n)
+        rnd_res = gossip_time_adversary(RandomTreeAdversary(n, seed=0), n)
+        rows.append(
+            (
+                n,
+                adv_res.broadcast_time,
+                "never" if adv_res.gossip_time is None else adv_res.gossip_time,
+                "never" if path_res.gossip_time is None else path_res.gossip_time,
+                rnd_res.broadcast_time,
+                rnd_res.gossip_time,
+            )
+        )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                [
+                    "n",
+                    "adversarial broadcast t*",
+                    "adversarial gossip",
+                    "static-path gossip",
+                    "random broadcast t*",
+                    "random gossip",
+                ],
+                rows,
+                title="E7: gossip is unbounded adversarially, cheap under random trees",
+            )
+        )
+    for _, _, adv_gossip, path_gossip, _, rnd_gossip in rows:
+        assert adv_gossip == "never"
+        assert path_gossip == "never"
+        assert isinstance(rnd_gossip, int)
+
+
+def test_random_gossip_speed(benchmark):
+    n = 32
+    res = benchmark(lambda: gossip_time_adversary(RandomTreeAdversary(n, seed=5), n))
+    assert res.completed

@@ -1,0 +1,71 @@
+"""E5 -- Figure 1's restricted rows: k leaves / k inner nodes => O(kn).
+
+Zeiner et al. [14] prove linearity for adversaries restricted to trees
+with ``k`` leaves or ``k`` inner nodes per round.  We sweep ``n`` for
+``k ∈ {2, 3, 4}`` with the adaptive restricted adversaries and fit the
+measured broadcast times: the claim reproduced is *linearity in n for
+fixed k* (R² ≈ 1 on a line fit) with slope well under the ``2k``
+convention used for the figure's ``O(kn)`` rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.restricted import KInnerAdversary, KLeafAdversary
+from repro.analysis.stats import linear_fit
+from repro.analysis.tables import format_table
+from repro.core.bounds import k_inner_upper_bound, k_leaves_upper_bound
+from repro.core.broadcast import run_adversary
+
+NS = [6, 9, 12, 15, 18, 24, 30]
+KS = [2, 3, 4]
+
+
+@pytest.mark.table
+def test_print_restricted_table(capsys):
+    rows = []
+    for k in KS:
+        leaf_ts = [run_adversary(KLeafAdversary(n, k), n).t_star for n in NS]
+        inner_ts = [run_adversary(KInnerAdversary(n, k), n).t_star for n in NS]
+        leaf_fit = linear_fit(NS, leaf_ts)
+        inner_fit = linear_fit(NS, inner_ts)
+        rows.append(
+            (
+                f"k={k} leaves",
+                *leaf_ts,
+                f"{leaf_fit.slope:.2f}",
+                f"{leaf_fit.r_squared:.3f}",
+            )
+        )
+        rows.append(
+            (
+                f"k={k} inner",
+                *inner_ts,
+                f"{inner_fit.slope:.2f}",
+                f"{inner_fit.r_squared:.3f}",
+            )
+        )
+        # Linearity claims.
+        assert leaf_fit.r_squared > 0.9
+        assert inner_fit.r_squared > 0.9
+        for n, t in zip(NS, leaf_ts):
+            assert t <= k_leaves_upper_bound(n, k)
+        for n, t in zip(NS, inner_ts):
+            assert t <= k_inner_upper_bound(n, k)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["family", *[f"n={n}" for n in NS], "slope", "R^2"],
+                rows,
+                title="E5: restricted adversaries stay linear (O(kn) rows)",
+            )
+        )
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_k_leaf_run_speed(benchmark, k):
+    n = 24
+    result = benchmark(lambda: run_adversary(KLeafAdversary(n, k), n))
+    assert result.t_star is not None

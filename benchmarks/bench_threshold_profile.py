@@ -1,0 +1,66 @@
+"""E2 supplement -- where the adversary spends its budget.
+
+Threshold broadcast times ``t*_k`` (first round some reach set has size
+>= k) under the static path vs the lower-bound witness.  The static path
+pays one round per threshold uniformly (``t*_k = k − 1``); the cyclic
+chain-fan adversary back-loads the cost -- the final thresholds are the
+expensive ones, matching the intuition behind the ``3n/2`` analysis
+(first build staggered knowledge cheaply, then make every further step
+dear).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.oblivious import StaticTreeAdversary
+from repro.adversaries.zeiner import CyclicFamilyAdversary
+from repro.analysis.tables import format_table
+from repro.core.bounds import lower_bound
+from repro.gossip.threshold import (
+    compare_profiles,
+    threshold_profile_adversary,
+)
+from repro.trees.generators import path
+
+N = 12
+
+
+@pytest.mark.table
+def test_print_threshold_table(capsys):
+    profiles = {
+        "static path": threshold_profile_adversary(
+            StaticTreeAdversary(path(N)), N
+        ),
+        "cyclic chain-fan": threshold_profile_adversary(
+            CyclicFamilyAdversary(N), N
+        ),
+    }
+    rows = compare_profiles(profiles)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["k", "static path t*_k", "cyclic t*_k"],
+                rows,
+                title=f"E2 supplement: threshold broadcast times at n={N}",
+            )
+        )
+        cyc = profiles["cyclic chain-fan"]
+        print(f"cyclic marginal costs k->k+1: {cyc.marginal_costs()}")
+    # Shape checks: path is arithmetic; cyclic ends at the LB formula and
+    # back-loads its cost.
+    static = profiles["static path"]
+    cyc = profiles["cyclic chain-fan"]
+    for k in range(1, N + 1):
+        assert static.time_for(k) == k - 1
+    assert cyc.broadcast_time == lower_bound(N)
+    marg = cyc.marginal_costs()
+    assert marg[-1] >= marg[0]
+
+
+def test_threshold_profile_speed(benchmark):
+    profile = benchmark(
+        lambda: threshold_profile_adversary(CyclicFamilyAdversary(N), N)
+    )
+    assert profile.broadcast_time == lower_bound(N)

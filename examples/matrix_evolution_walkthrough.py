@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""The paper's analytical lens: watching the adjacency matrix evolve.
+
+Section 3: "Our analysis is enabled by a novel perspective on the problem:
+adjacency matrices with boolean entries."  This example makes that
+perspective visible -- it renders the product graph ``G(t)`` as ASCII art
+after every round under three adversaries (static path, random trees, and
+the lower-bound construction) and tabulates the per-round potentials the
+analysis tracks.
+
+Run: ``python examples/matrix_evolution_walkthrough.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversaries import CyclicFamilyAdversary
+from repro.analysis.evolution import evolution_report, render_matrix
+from repro.analysis.tables import format_table
+from repro.core.broadcast import run_adversary
+from repro.core.state import BroadcastState
+from repro.trees.generators import path, random_tree
+
+
+def show_run(title: str, trees, n: int) -> None:
+    print(f"\n=== {title} ===")
+    state = BroadcastState.initial(n)
+    print(f"G(0):\n{render_matrix(state.reach_matrix_view())}")
+    for i, tree in enumerate(trees, start=1):
+        state.apply_tree_inplace(tree)
+        print(f"\nG({i}) after parents={list(tree.parents)}:")
+        print(render_matrix(state.reach_matrix_view()))
+        if state.is_broadcast_complete():
+            print(f"--> broadcast complete at t* = {i} "
+                  f"(full row = node {state.broadcasters()[0]})")
+            break
+
+
+def main() -> None:
+    n = 6
+
+    # 1. The static path: the staircase pattern of interval reach sets.
+    show_run("static path (the n-1 staircase)", [path(n)] * (n - 1), n)
+
+    # 2. Random trees: fast, irregular fill-in.
+    rng = np.random.default_rng(4)
+    show_run("random trees", [random_tree(n, rng) for _ in range(n * n)], n)
+
+    # 3. The lower-bound adversary: cyclic intervals, maximal delay.
+    result = run_adversary(CyclicFamilyAdversary(n), n, keep_trees=True)
+    show_run(
+        f"cyclic chain-fan adversary (t* = {result.t_star})",
+        result.trees,
+        n,
+    )
+
+    # 4. The potentials the analysis watches, tabulated for the last run.
+    report = evolution_report(result.trees, n)
+    rows = [
+        (
+            p.round_index,
+            d.new_edges,
+            p.max_row,
+            p.min_row,
+            p.rows_above_half,
+            f"{p.quadratic_row_potential:.3f}",
+        )
+        for p, d in zip(report.potentials, report.deltas)
+    ]
+    print()
+    print(
+        format_table(
+            ["round", "new edges", "max |R|", "min |R|", "rows > n/2", "sum|R|^2/n^2"],
+            rows,
+            title="Matrix-evolution potentials under the lower-bound adversary",
+        )
+    )
+    print("\nEvery round adds >= 1 edge (Section 2):",
+          report.invariant_min_one_new_edge())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Adversary base class and adapters.
+
+An adversary implements ``next_tree(state, round_index)``: it observes the
+current product graph and returns the next round's rooted tree.  Adaptive
+and oblivious adversaries coincide in power here (the system is
+deterministic and Definition 2.3 maximizes over sequences), so the adaptive
+interface is the general one; oblivious adversaries simply ignore ``state``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.state import BroadcastState
+from repro.errors import AdversaryError
+from repro.trees.rooted_tree import RootedTree
+
+
+class Adversary:
+    """Abstract base class for adversaries.
+
+    Subclasses override :meth:`next_tree`; :meth:`reset` clears per-run
+    state and defaults to a no-op.  The class also provides ``name`` for
+    reports (defaults to the class name).
+    """
+
+    #: Human-readable label used by sweeps and benchmark tables.
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
+        """Return the tree to play at 1-based round ``round_index``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget per-run state so the adversary can be reused."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SequenceAdversary(Adversary):
+    """Play a fixed finite sequence of trees, then optionally repeat or hold.
+
+    Parameters
+    ----------
+    trees:
+        The round graphs for rounds ``1 .. len(trees)``.
+    after:
+        What to do past the end of the sequence: ``"repeat"`` cycles from
+        the start, ``"hold"`` repeats the last tree forever, ``"error"``
+        raises :class:`AdversaryError`.
+    """
+
+    def __init__(
+        self,
+        trees: Sequence[RootedTree],
+        after: str = "hold",
+        name: Optional[str] = None,
+    ) -> None:
+        if not trees:
+            raise AdversaryError("SequenceAdversary needs at least one tree")
+        if after not in ("repeat", "hold", "error"):
+            raise AdversaryError(
+                f"after must be 'repeat', 'hold' or 'error', got {after!r}"
+            )
+        n = trees[0].n
+        for t in trees:
+            if t.n != n:
+                raise AdversaryError("all trees in a sequence must share n")
+        self._trees: List[RootedTree] = list(trees)
+        self._after = after
+        self.name = name or f"Sequence[{len(trees)} trees]"
+        super().__init__()
+
+    def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
+        i = round_index - 1
+        if i < len(self._trees):
+            return self._trees[i]
+        if self._after == "repeat":
+            return self._trees[i % len(self._trees)]
+        if self._after == "hold":
+            return self._trees[-1]
+        raise AdversaryError(
+            f"sequence of length {len(self._trees)} exhausted at round {round_index}"
+        )
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+
+class FunctionAdversary(Adversary):
+    """Wrap a plain function ``(state, round_index) -> RootedTree``."""
+
+    def __init__(
+        self,
+        fn: Callable[[BroadcastState, int], RootedTree],
+        name: Optional[str] = None,
+        reset_fn: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._fn = fn
+        self._reset_fn = reset_fn
+        self.name = name or getattr(fn, "__name__", "FunctionAdversary")
+        super().__init__()
+
+    def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
+        return self._fn(state, round_index)
+
+    def reset(self) -> None:
+        if self._reset_fn is not None:
+            self._reset_fn()

@@ -1,0 +1,102 @@
+"""Beam-search adversary: greedy with multi-round lookahead.
+
+One-step greed can walk into traps: a move that minimizes immediate
+progress may leave only bad moves next round.  The beam adversary expands
+``depth`` rounds ahead, keeping the ``width`` most promising states per
+level (by the same score as the greedy adversary, accumulated
+lexicographically), and plays the first move of the best surviving line.
+
+Cost per round is ``O(depth * width * |pool| * n²)``; with the default
+pool this stays comfortable for ``n`` up to a few hundred.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.adversaries.base import Adversary
+from repro.adversaries.greedy import Score, score_tree
+from repro.adversaries.pool import CandidatePool, PoolConfig
+from repro.core.state import BroadcastState
+from repro.errors import AdversaryError
+from repro.trees.rooted_tree import RootedTree
+
+
+class BeamSearchAdversary(Adversary):
+    """Lookahead-``depth`` beam search over the candidate pool.
+
+    Parameters
+    ----------
+    n: number of processes.
+    depth: how many rounds to look ahead (1 reduces to greedy).
+    width: beam width per level.
+    pool / config / seed: candidate pool, as for the greedy adversary.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        depth: int = 2,
+        width: int = 6,
+        pool: Optional[CandidatePool] = None,
+        config: Optional[PoolConfig] = None,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if depth < 1:
+            raise AdversaryError(f"depth must be >= 1, got {depth}")
+        if width < 1:
+            raise AdversaryError(f"width must be >= 1, got {width}")
+        if pool is not None and config is not None:
+            raise AdversaryError("pass either a pool or a config, not both")
+        if pool is None:
+            pool = CandidatePool(n, config or PoolConfig(seed=seed))
+        self._pool = pool
+        self._depth = depth
+        self._width = width
+        self._n = n
+        self.name = name or f"Beam[d={depth},w={width}]"
+        super().__init__()
+
+    def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
+        # Beam entries: (accumulated score path, state, first move).
+        # A state that finishes broadcast is pruned from further expansion
+        # but remembered as a last resort (if every line finishes, the
+        # adversary is cornered and must pick the least-bad losing move).
+        first_moves = self._pool.candidates(state)
+        if not first_moves:
+            raise AdversaryError("candidate pool produced no trees")
+
+        beam: List[Tuple[Tuple[Score, ...], BroadcastState, RootedTree]] = []
+        cornered: List[Tuple[Score, RootedTree]] = []
+        for tree in first_moves:
+            s = score_tree(state, tree)
+            nxt = state.apply_tree(tree)
+            if nxt.is_broadcast_complete():
+                cornered.append((s, tree))
+            else:
+                beam.append(((s,), nxt, tree))
+        if not beam:
+            cornered.sort(key=lambda pair: pair[0])
+            return cornered[0][1]
+        beam.sort(key=lambda entry: entry[0])
+        beam = beam[: self._width]
+
+        for _ in range(self._depth - 1):
+            level: List[Tuple[Tuple[Score, ...], BroadcastState, RootedTree]] = []
+            for acc, st, first in beam:
+                for tree in self._pool.candidates(st):
+                    s = score_tree(st, tree)
+                    nxt = st.apply_tree(tree)
+                    if nxt.is_broadcast_complete():
+                        continue
+                    level.append((acc + (s,), nxt, first))
+            if not level:
+                break  # every continuation finishes: current beam is final
+            level.sort(key=lambda entry: entry[0])
+            beam = level[: self._width]
+
+        return beam[0][2]
+
+    def reset(self) -> None:
+        self._pool.reset()

@@ -1,0 +1,311 @@
+"""Exact broadcast game values by exhaustive minimax.
+
+Definition 2.3's ``t*(T_n)`` is the value of a single-player maximization
+game: from the identity product graph, the adversary repeatedly picks any
+rooted tree; the game ends when some row fills.  Because round graphs carry
+self-loops, states grow monotonically and every tree strictly grows the
+root's row (Lemma R), so the state space is a finite DAG and plain memoized
+DFS computes the exact value.
+
+Representation and optimizations
+--------------------------------
+* A state is a tuple of ``n`` row bitmasks (``rows[x]`` bit ``y`` set iff
+  ``x`` reached ``y``).
+* Composition with a tree is a per-row table lookup: for each tree a table
+  ``new_row = table[row]`` over all ``2^n`` row values is precomputed
+  (``new_row = row | {c : parent(c) ∈ row}`` depends on the row only).
+* Successors are deduplicated, then reduced to their ⊆-minimal antichain:
+  the game value is antitone in the state (more edges can only finish
+  sooner), so dominated successors are pruned.
+* Memoization keys are canonicalized under simultaneous node relabeling
+  (the game is label-invariant); per-permutation bit tables make the
+  canonical key a handful of lookups.
+
+Feasibility: |T_n| = n^(n-1) trees per state -- exact for n <= 5 in
+seconds/minutes, n = 6 only with generous budgets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import permutations as iter_permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SearchBudgetExceeded
+from repro.trees.enumerate import MAX_ENUMERABLE_N, all_parent_arrays
+from repro.trees.rooted_tree import RootedTree
+from repro.types import validate_node_count
+
+State = Tuple[int, ...]
+
+
+@dataclass
+class ExactResult:
+    """Outcome of an exact solve.
+
+    Attributes
+    ----------
+    n: number of processes.
+    t_star: the exact game value ``t*(T_n)``.
+    states_explored: number of distinct (canonical) states memoized.
+    tree_count: ``|T_n| = n^(n-1)``.
+    elapsed_seconds: wall-clock solve time.
+    optimal_trees: an optimal adversary sequence witnessing ``t_star``
+        (filled by :meth:`ExactGameSolver.optimal_sequence`).
+    """
+
+    n: int
+    t_star: int
+    states_explored: int
+    tree_count: int
+    elapsed_seconds: float
+    optimal_trees: List[RootedTree] = field(default_factory=list)
+
+
+class ExactGameSolver:
+    """Exhaustive solver for the dynamic-rooted-tree broadcast game.
+
+    Parameters
+    ----------
+    n:
+        Number of processes (2 .. :data:`MAX_ENUMERABLE_N`; practical
+        budgets stop around 5).
+    canonicalize:
+        Collapse states under node relabeling.  Shrinks the memo table by
+        up to ``n!`` at the cost of computing canonical keys; worthwhile
+        for ``n >= 4``.
+    max_states:
+        Budget on distinct memoized states; exceeded ->
+        :class:`SearchBudgetExceeded`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        canonicalize: bool = True,
+        max_states: int = 5_000_000,
+    ) -> None:
+        validate_node_count(n)
+        if n < 2:
+            raise ValueError("the game needs at least two processes")
+        if n > MAX_ENUMERABLE_N:
+            raise SearchBudgetExceeded(
+                f"n={n} needs {n}^{n-1} trees per state; max supported is "
+                f"{MAX_ENUMERABLE_N}"
+            )
+        self._n = n
+        self._full = (1 << n) - 1
+        self._canonicalize = canonicalize
+        self._max_states = max_states
+        self._parent_arrays: List[Tuple[int, ...]] = list(all_parent_arrays(n))
+        self._tree_tables: List[List[int]] = [
+            self._build_tree_table(pa) for pa in self._parent_arrays
+        ]
+        self._perm_specs: List[Tuple[Tuple[int, ...], List[int]]] = (
+            self._build_perm_specs() if canonicalize else []
+        )
+        self._memo: Dict[State, int] = {}
+        self._canon_cache: Dict[State, State] = {}
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+
+    def _build_tree_table(self, parents: Sequence[int]) -> List[int]:
+        """table[row] = row | {c : parents[c] ∈ row} over all 2^n rows."""
+        n = self._n
+        table = [0] * (1 << n)
+        for row in range(1 << n):
+            new = row
+            for c in range(n):
+                p = parents[c]
+                if p != c and (row >> p) & 1:
+                    new |= 1 << c
+            table[row] = new
+        return table
+
+    def _build_perm_specs(self) -> List[Tuple[Tuple[int, ...], List[int]]]:
+        """For each permutation π: (π itself, bit-relabeling table).
+
+        Relabeling a state by π: new_rows[π[x]] = bitperm(rows[x]) where
+        bitperm moves bit y to bit π[y].
+        """
+        n = self._n
+        specs: List[Tuple[Tuple[int, ...], List[int]]] = []
+        for perm in iter_permutations(range(n)):
+            table = [0] * (1 << n)
+            for row in range(1 << n):
+                out = 0
+                rem = row
+                while rem:
+                    y = (rem & -rem).bit_length() - 1
+                    out |= 1 << perm[y]
+                    rem &= rem - 1
+                table[row] = out
+            specs.append((perm, table))
+        return specs
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> State:
+        """The identity state: each process knows only itself."""
+        return tuple(1 << x for x in range(self._n))
+
+    def is_finished(self, state: State) -> bool:
+        """True iff some row is full (broadcast complete)."""
+        full = self._full
+        return any(row == full for row in state)
+
+    def apply_tree_index(self, state: State, tree_index: int) -> State:
+        """Compose ``state`` with the ``tree_index``-th enumerated tree."""
+        table = self._tree_tables[tree_index]
+        return tuple(table[row] for row in state)
+
+    def successors(self, state: State) -> List[State]:
+        """Deduplicated, ⊆-minimal successor states of one round."""
+        unique = {
+            tuple(table[row] for row in state) for table in self._tree_tables
+        }
+        return _minimal_antichain(list(unique))
+
+    def canonical(self, state: State) -> State:
+        """Lexicographically minimal relabeling of ``state``."""
+        if not self._canonicalize:
+            return state
+        cached = self._canon_cache.get(state)
+        if cached is not None:
+            return cached
+        n = self._n
+        best: Optional[State] = None
+        for perm, table in self._perm_specs:
+            out = [0] * n
+            for x in range(n):
+                out[perm[x]] = table[state[x]]
+            cand = tuple(out)
+            if best is None or cand < best:
+                best = cand
+        assert best is not None
+        self._canon_cache[state] = best
+        return best
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def value(self, state: State) -> int:
+        """Exact number of further rounds the adversary can force.
+
+        0 when ``state`` already contains a broadcaster.
+        """
+        if self.is_finished(state):
+            return 0
+        key = self.canonical(state)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        # Iterative DFS with an explicit stack (depth can reach ~n²).
+        # Frames are [state, canonical_key, pending_successors, best_so_far];
+        # a successor is only *peeked* until its value is memoized, so its
+        # contribution is folded into ``best`` when the frame resumes.
+        stack: List[List] = [[state, key, self.successors(state), 0]]
+        while stack:
+            frame = stack[-1]
+            _cur, cur_key, succs, best = frame
+            descended = False
+            while succs:
+                nxt = succs[-1]
+                if self.is_finished(nxt):
+                    best = max(best, 1)
+                    succs.pop()
+                    continue
+                nxt_key = self.canonical(nxt)
+                nxt_val = self._memo.get(nxt_key)
+                if nxt_val is None:
+                    frame[3] = best
+                    stack.append([nxt, nxt_key, self.successors(nxt), 0])
+                    descended = True
+                    break
+                best = max(best, 1 + nxt_val)
+                succs.pop()
+            if descended:
+                continue
+            if len(self._memo) >= self._max_states:
+                raise SearchBudgetExceeded(
+                    f"exact solver exceeded max_states={self._max_states}",
+                    len(self._memo),
+                )
+            self._memo[cur_key] = best
+            stack.pop()
+        return self._memo[key]
+
+    def solve(self) -> ExactResult:
+        """Compute ``t*(T_n)`` from the identity state."""
+        start = time.perf_counter()
+        t_star = self.value(self.initial_state())
+        elapsed = time.perf_counter() - start
+        return ExactResult(
+            n=self._n,
+            t_star=t_star,
+            states_explored=len(self._memo),
+            tree_count=len(self._parent_arrays),
+            elapsed_seconds=elapsed,
+        )
+
+    def optimal_sequence(self) -> List[RootedTree]:
+        """Replay an optimal adversary line from the identity state.
+
+        Requires/triggers a full solve.  At each state the lowest-index
+        tree achieving the memoized value is chosen, so the sequence is
+        deterministic.
+        """
+        total = self.value(self.initial_state())
+        seq: List[RootedTree] = []
+        state = self.initial_state()
+        remaining = total
+        while remaining > 0:
+            chosen = None
+            for i in range(len(self._tree_tables)):
+                nxt = self.apply_tree_index(state, i)
+                nxt_val = 0 if self.is_finished(nxt) else self.value(nxt)
+                if 1 + nxt_val == remaining:
+                    chosen = (i, nxt)
+                    break
+            if chosen is None:  # pragma: no cover - would indicate a bug
+                raise RuntimeError("no tree achieves the memoized game value")
+            i, state = chosen
+            seq.append(RootedTree(self._parent_arrays[i]))
+            remaining -= 1
+        assert self.is_finished(state)
+        return seq
+
+
+def _minimal_antichain(states: List[State]) -> List[State]:
+    """Keep only ⊆-minimal states (value is antitone in the state)."""
+    # Sort by total popcount: a state can only be dominated by one with
+    # fewer or equal total bits.
+    keyed = sorted(states, key=_total_bits)
+    kept: List[State] = []
+    for s in keyed:
+        if not any(_subseteq(k, s) for k in kept):
+            kept.append(s)
+    return kept
+
+
+def _total_bits(state: State) -> int:
+    return sum(bin(row).count("1") for row in state)
+
+
+def _subseteq(a: State, b: State) -> bool:
+    """True iff state ``a``'s edge set is contained in ``b``'s."""
+    return all((ra | rb) == rb for ra, rb in zip(a, b))
+
+
+def exact_broadcast_time(n: int, max_states: int = 5_000_000) -> int:
+    """Convenience wrapper: the exact ``t*(T_n)`` for small ``n``."""
+    if n == 1:
+        return 0
+    solver = ExactGameSolver(n, max_states=max_states)
+    return solver.solve().t_star

@@ -1,0 +1,150 @@
+"""One-step greedy delaying adversary.
+
+Each round, evaluate every candidate tree in the pool and play the one
+whose successor state looks hardest to finish from.  The score is a
+lexicographic tuple; lower is better for the adversary:
+
+1. number of *new* broadcasters the move creates (0 unless forced),
+2. the largest reach-set size afterwards (keep the leader small),
+3. the number of nodes within one step of finishing (``|R| = n - 1``),
+4. total new product-graph edges (the paper's per-round progress measure),
+5. number of nodes that gained anything.
+
+The tuple encodes the standard delaying heuristics: never finish if
+avoidable, then suppress the leader, then suppress near-finishers, then
+minimize aggregate progress.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.adversaries.base import Adversary
+from repro.adversaries.pool import CandidatePool, PoolConfig
+from repro.core.state import BroadcastState
+from repro.errors import AdversaryError
+from repro.trees.rooted_tree import RootedTree
+
+#: Score tuple type: see module docstring for the component meaning.
+Score = Tuple[int, int, int, int, int]
+
+
+def score_tree(state: BroadcastState, tree: RootedTree) -> Score:
+    """Score a candidate move; lexicographically lower is better."""
+    reach = state.reach_matrix_view()
+    n = state.n
+    parent = tree.parent_array_numpy()
+    new_reach = reach | reach[:, parent]
+    new_rows = new_reach.sum(axis=1)
+    old_rows = reach.sum(axis=1)
+    finished_now = int((new_rows == n).sum() - (old_rows == n).sum())
+    return (
+        finished_now,
+        int(new_rows.max()),
+        int((new_rows == n - 1).sum()),
+        int(new_rows.sum() - old_rows.sum()),
+        int((new_rows > old_rows).sum()),
+    )
+
+
+class GreedyDelayAdversary(Adversary):
+    """Play the pool candidate minimizing :func:`score_tree` each round."""
+
+    def __init__(
+        self,
+        n: int,
+        pool: Optional[CandidatePool] = None,
+        config: Optional[PoolConfig] = None,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        if pool is not None and config is not None:
+            raise AdversaryError("pass either a pool or a config, not both")
+        if pool is None:
+            pool = CandidatePool(n, config or PoolConfig(seed=seed))
+        self._pool = pool
+        self._n = n
+        self.name = name or "GreedyDelay"
+        super().__init__()
+
+    @property
+    def pool(self) -> CandidatePool:
+        """The candidate pool searched each round."""
+        return self._pool
+
+    def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
+        candidates = self._pool.candidates(state)
+        if not candidates:
+            raise AdversaryError("candidate pool produced no trees")
+        best: Optional[RootedTree] = None
+        best_score: Optional[Score] = None
+        for tree in candidates:
+            s = score_tree(state, tree)
+            if best_score is None or s < best_score:
+                best, best_score = tree, s
+        assert best is not None
+        return best
+
+    def reset(self) -> None:
+        self._pool.reset()
+
+
+def rank_candidates(
+    state: BroadcastState, candidates: List[RootedTree]
+) -> List[Tuple[Score, RootedTree]]:
+    """Sort candidates by score (best first); exposed for analysis tools."""
+    scored = [(score_tree(state, t), t) for t in candidates]
+    scored.sort(key=lambda pair: pair[0])
+    return scored
+
+
+class ExhaustiveGreedyAdversary(Adversary):
+    """Greedy over *all* ``n^(n-1)`` rooted trees (small ``n`` only).
+
+    Each round every tree in ``T_n`` is scored with the quadratic
+    potential (see
+    :func:`repro.adversaries.zeiner.quadratic_potential_score`) and the
+    minimizer is played.  For ``n <= 6`` this reproduces the exact game
+    values; it is the strongest practical adversary before the
+    state-space solver becomes necessary, and a reference point for the
+    pool-restricted searchers.
+
+    The tree set is enumerated once at construction (``n <= 7`` enforced:
+    ``7^6 = 117649`` trees is the practical ceiling).
+    """
+
+    #: Enumerating all trees beyond this n is refused.
+    MAX_N = 7
+
+    def __init__(self, n: int) -> None:
+        if not 2 <= n <= self.MAX_N:
+            raise AdversaryError(
+                f"ExhaustiveGreedyAdversary supports 2 <= n <= {self.MAX_N}, got {n}"
+            )
+        from repro.trees.enumerate import all_parent_arrays
+
+        self._n = n
+        self._parents = [
+            np.asarray(pa, dtype=np.int64) for pa in all_parent_arrays(n)
+        ]
+        self.name = f"ExhaustiveGreedy[n={n}]"
+        super().__init__()
+
+    def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
+        from repro.adversaries.zeiner import quadratic_potential_score
+
+        if state.n != self._n:
+            raise AdversaryError(
+                f"adversary built for n={self._n}, driven with n={state.n}"
+            )
+        reach = state.reach_matrix_view()
+        best = None
+        best_score = None
+        for parent in self._parents:
+            s = quadratic_potential_score(reach, parent, self._n)
+            if best_score is None or s < best_score:
+                best, best_score = parent, s
+        assert best is not None
+        return RootedTree([int(p) for p in best])

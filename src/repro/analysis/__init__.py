@@ -1,0 +1,71 @@
+"""Analysis and reporting utilities.
+
+Executable versions of the paper's analytical lens (matrix evolution,
+stalling structure) plus the sweep/table machinery the benchmarks use:
+
+* :mod:`~repro.analysis.evolution` -- round-by-round matrix evolution
+  reports (the paper's Section 3 perspective);
+* :mod:`~repro.analysis.stalling` -- who stalls, why, and the executable
+  lemmas (root-always-gains, stalling characterization);
+* :mod:`~repro.analysis.certificates` -- validation of claimed broadcast
+  times and adversary traces;
+* :mod:`~repro.analysis.sweep` -- parameter sweeps over ``n`` and
+  adversaries;
+* :mod:`~repro.analysis.tables` -- plain-text / markdown table rendering
+  used by benchmarks and the CLI;
+* :mod:`~repro.analysis.stats` -- small statistics helpers (linear fits
+  for "is it linear in n?" checks).
+"""
+
+from repro.analysis.evolution import EvolutionReport, evolution_report
+from repro.analysis.stalling import StallReport, stall_report, verify_lemmas_on_round
+from repro.analysis.certificates import (
+    certify_adversary_run,
+    certify_lower_bound_witness,
+    certify_sequence,
+)
+from repro.analysis.sweep import SweepResult, sweep_adversaries, sweep_n
+from repro.analysis.tables import format_markdown_table, format_table
+from repro.analysis.stats import linear_fit, LinearFit
+from repro.analysis.intervals import (
+    CyclicInterval,
+    as_cyclic_interval,
+    interval_preservation_trace,
+    state_intervals,
+    state_is_interval_structured,
+)
+from repro.analysis.plots import bar_chart, sparkline, trajectory_panel
+from repro.analysis.falsification import (
+    CampaignResult,
+    falsification_campaign,
+    measured_gap,
+)
+
+__all__ = [
+    "EvolutionReport",
+    "evolution_report",
+    "StallReport",
+    "stall_report",
+    "verify_lemmas_on_round",
+    "certify_sequence",
+    "certify_adversary_run",
+    "certify_lower_bound_witness",
+    "SweepResult",
+    "sweep_n",
+    "sweep_adversaries",
+    "format_table",
+    "format_markdown_table",
+    "linear_fit",
+    "LinearFit",
+    "CyclicInterval",
+    "as_cyclic_interval",
+    "state_intervals",
+    "state_is_interval_structured",
+    "interval_preservation_trace",
+    "sparkline",
+    "bar_chart",
+    "trajectory_panel",
+    "CampaignResult",
+    "falsification_campaign",
+    "measured_gap",
+]

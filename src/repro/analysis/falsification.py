@@ -1,0 +1,123 @@
+"""Falsification campaigns: actively trying to break Theorem 3.1.
+
+A reproduction of a theorem is most convincing when it *attacks* the
+claim.  :func:`falsification_campaign` throws every searcher the library
+has at one ``n`` -- the portfolio, exhaustive greedy (small ``n``),
+annealing, plus fresh random seeds -- and reports the largest broadcast
+time anything achieved.  The campaign *fails to falsify* iff that maximum
+respects ``⌈(1+√2)n − 1⌉``; any violation raises immediately with the
+offending witness sequence (which would mean a model bug or a disproof).
+
+This is also where the repository's strongest statement about the open
+gap lives: :func:`measured_gap` reports how far below the upper bound the
+best-known adversary sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.bounds import lower_bound, upper_bound
+from repro.core.broadcast import run_adversary
+from repro.errors import AdversaryError
+from repro.types import validate_node_count
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one falsification campaign.
+
+    Attributes
+    ----------
+    n: the attacked size.
+    best_t_star: largest broadcast time any strategy achieved.
+    best_strategy: name of the strategy achieving it.
+    leaderboard: every strategy's achieved time.
+    upper: the Theorem 3.1 upper bound at this n.
+    lower: the lower-bound formula at this n.
+    """
+
+    n: int
+    best_t_star: int
+    best_strategy: str
+    leaderboard: Dict[str, int] = field(default_factory=dict)
+    upper: int = 0
+    lower: int = 0
+
+    @property
+    def falsified(self) -> bool:
+        """True would mean Theorem 3.1 is violated (never observed)."""
+        return self.best_t_star > self.upper
+
+    @property
+    def meets_lower_bound(self) -> bool:
+        """Did some strategy witness the lower-bound formula?"""
+        return self.best_t_star >= self.lower
+
+    @property
+    def headroom(self) -> int:
+        """Rounds between the best attack and the upper bound."""
+        return self.upper - self.best_t_star
+
+
+def falsification_campaign(
+    n: int,
+    random_seeds: int = 5,
+    annealing_iterations: int = 500,
+    include_exhaustive: bool = True,
+) -> CampaignResult:
+    """Attack Theorem 3.1's upper bound at one ``n`` with everything.
+
+    Raises
+    ------
+    AdversaryError
+        If any strategy exceeds the upper bound (i.e. the campaign
+        "succeeds") -- which indicates a model bug, never silently.
+    """
+    validate_node_count(n)
+    if n < 2:
+        raise AdversaryError("falsification needs n >= 2")
+
+    from repro.adversaries.annealing import anneal_sequence
+    from repro.adversaries.greedy import ExhaustiveGreedyAdversary
+    from repro.adversaries.oblivious import RandomTreeAdversary
+    from repro.adversaries.zeiner import portfolio
+
+    leaderboard: Dict[str, int] = {}
+
+    for adv in portfolio(n, include_search=True):
+        leaderboard[adv.name] = run_adversary(adv, n).t_star
+
+    for seed in range(random_seeds):
+        adv = RandomTreeAdversary(n, seed=1000 + seed)
+        leaderboard[f"random[seed={1000 + seed}]"] = run_adversary(adv, n).t_star
+
+    annealed = anneal_sequence(n, iterations=annealing_iterations, seed=0)
+    leaderboard["annealing"] = annealed.best_t_star
+
+    if include_exhaustive and n <= ExhaustiveGreedyAdversary.MAX_N:
+        adv = ExhaustiveGreedyAdversary(n)
+        leaderboard[adv.name] = run_adversary(adv, n).t_star
+
+    best_strategy = max(leaderboard, key=lambda k: leaderboard[k])
+    result = CampaignResult(
+        n=n,
+        best_t_star=leaderboard[best_strategy],
+        best_strategy=best_strategy,
+        leaderboard=leaderboard,
+        upper=upper_bound(n),
+        lower=lower_bound(n),
+    )
+    if result.falsified:
+        raise AdversaryError(
+            f"Theorem 3.1 upper bound exceeded at n={n}: "
+            f"{best_strategy} achieved {result.best_t_star} > {result.upper}. "
+            "This indicates a model implementation bug."
+        )
+    return result
+
+
+def measured_gap(ns: List[int], **campaign_kwargs) -> List[CampaignResult]:
+    """Run campaigns over several ``n`` (the open-gap picture)."""
+    return [falsification_campaign(n, **campaign_kwargs) for n in ns]

@@ -1,0 +1,176 @@
+"""Cyclic-interval structure of reach sets.
+
+The exact solver's optimal adversary lines share a striking invariant:
+every reach set stays a *cyclic interval* -- a set of the form
+``{a, a+1, ..., b} (mod n)``.  The cyclic chain-fan adversary was designed
+around this observation, and this module makes the invariant checkable:
+
+* :class:`CyclicInterval` -- normalized arc representation;
+* :func:`as_cyclic_interval` -- recognize a set as an arc (or None);
+* :func:`state_intervals` / :func:`state_is_interval_structured` --
+  per-state recognition;
+* :func:`interval_preservation_trace` -- run an adversary and report when
+  (if ever) the interval structure breaks.
+
+The interval lens also explains the stalling calculus: under a rotated
+*forward* cyclic path starting at ``s``, an arc grows at its right end
+unless that end is ``s − 1``; under a *backward* path, at its left end
+unless that end is ``s + 1``.  Chain-fan trees mix the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, List, Optional, Sequence
+
+from repro.core.state import BroadcastState
+from repro.types import AdversaryProtocol, validate_node_count
+
+
+@dataclass(frozen=True)
+class CyclicInterval:
+    """A nonempty arc ``{start, start+1, ..., start+length-1} (mod n)``.
+
+    Normalization: a full arc (``length == n``) uses ``start = 0``;
+    otherwise ``start`` is the unique element whose predecessor is absent.
+    """
+
+    n: int
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        validate_node_count(self.n)
+        if not 1 <= self.length <= self.n:
+            raise ValueError(f"arc length {self.length} invalid for n={self.n}")
+        if not 0 <= self.start < self.n:
+            raise ValueError(f"arc start {self.start} out of range for n={self.n}")
+        if self.length == self.n and self.start != 0:
+            raise ValueError("full arcs must be normalized to start=0")
+
+    @property
+    def end(self) -> int:
+        """The last element of the arc (inclusive)."""
+        return (self.start + self.length - 1) % self.n
+
+    def members(self) -> frozenset:
+        """The arc as a set of nodes."""
+        return frozenset((self.start + i) % self.n for i in range(self.length))
+
+    def contains(self, v: int) -> bool:
+        """Membership test without materializing the set."""
+        offset = (v - self.start) % self.n
+        return offset < self.length
+
+    def extend_right(self) -> "CyclicInterval":
+        """The arc grown by one at its right end (saturates at full)."""
+        if self.length == self.n:
+            return self
+        new_len = self.length + 1
+        if new_len == self.n:
+            return CyclicInterval(self.n, 0, self.n)
+        return CyclicInterval(self.n, self.start, new_len)
+
+    def extend_left(self) -> "CyclicInterval":
+        """The arc grown by one at its left end (saturates at full)."""
+        if self.length == self.n:
+            return self
+        new_len = self.length + 1
+        if new_len == self.n:
+            return CyclicInterval(self.n, 0, self.n)
+        return CyclicInterval(self.n, (self.start - 1) % self.n, new_len)
+
+    def is_full(self) -> bool:
+        """True iff the arc covers every node (a broadcaster's reach)."""
+        return self.length == self.n
+
+    def __str__(self) -> str:
+        return f"[{self.start}..{self.end}]/{self.n}(len={self.length})"
+
+
+def as_cyclic_interval(nodes: AbstractSet[int], n: int) -> Optional[CyclicInterval]:
+    """Recognize ``nodes`` as a cyclic interval over ``[n]``.
+
+    Returns the normalized :class:`CyclicInterval`, or ``None`` if the set
+    is empty or not an arc.
+    """
+    validate_node_count(n)
+    size = len(nodes)
+    if size == 0:
+        return None
+    if size == n:
+        return CyclicInterval(n, 0, n)
+    member = [False] * n
+    for v in nodes:
+        if not 0 <= v < n:
+            raise ValueError(f"node {v} out of range for n={n}")
+        member[v] = True
+    # An arc of size < n has exactly one "start": member whose predecessor
+    # is not a member.
+    starts = [v for v in range(n) if member[v] and not member[(v - 1) % n]]
+    if len(starts) != 1:
+        return None
+    start = starts[0]
+    if all(member[(start + i) % n] for i in range(size)):
+        return CyclicInterval(n, start, size)
+    return None
+
+
+def state_intervals(state: BroadcastState) -> List[Optional[CyclicInterval]]:
+    """Recognize every reach set of a state as an arc (None where not)."""
+    return [as_cyclic_interval(state.reach_set(x), state.n) for x in range(state.n)]
+
+
+def state_is_interval_structured(state: BroadcastState) -> bool:
+    """True iff every reach set is a cyclic interval."""
+    return all(arc is not None for arc in state_intervals(state))
+
+
+@dataclass
+class IntervalTraceEntry:
+    """One round of an interval-preservation trace."""
+
+    round_index: int
+    structured: bool
+    arcs: List[Optional[CyclicInterval]]
+
+
+def interval_preservation_trace(
+    adversary: AdversaryProtocol,
+    n: int,
+    max_rounds: Optional[int] = None,
+) -> List[IntervalTraceEntry]:
+    """Run ``adversary`` and record the interval structure each round.
+
+    Used to validate the cyclic chain-fan adversary's design claim: the
+    trace entries should all have ``structured=True``.
+    """
+    from repro.core.bounds import trivial_upper_bound
+
+    validate_node_count(n)
+    cap = max_rounds if max_rounds is not None else trivial_upper_bound(n)
+    adversary.reset()
+    state = BroadcastState.initial(n)
+    trace: List[IntervalTraceEntry] = []
+    t = 0
+    while not state.is_broadcast_complete() and t < cap:
+        t += 1
+        tree = adversary.next_tree(state, t)
+        state.apply_tree_inplace(tree)
+        arcs = state_intervals(state)
+        trace.append(
+            IntervalTraceEntry(
+                round_index=t,
+                structured=all(a is not None for a in arcs),
+                arcs=arcs,
+            )
+        )
+    return trace
+
+
+def first_structure_break(trace: Sequence[IntervalTraceEntry]) -> Optional[int]:
+    """The first round whose state is not interval-structured, if any."""
+    for entry in trace:
+        if not entry.structured:
+            return entry.round_index
+    return None

@@ -1,0 +1,121 @@
+"""Dependency-free ASCII plotting for terminal reports.
+
+The environment is offline and headless; these helpers give the examples
+and benchmark narratives lightweight visuals: sparklines for per-round
+trajectories and a column chart for cross-``n`` comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+#: Eight-level block characters used by :func:`sparkline`.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a one-line unicode sparkline.
+
+    Constant series render as a flat middle band; empty input gives "".
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _BLOCKS[3] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with right-aligned numeric annotations.
+
+    ``width`` is the bar column's character budget; bars scale to the
+    maximum value.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    vals = [float(v) for v in values]
+    peak = max(max(vals), 1e-12)
+    label_w = max(len(str(l)) for l in labels)
+    lines: List[str] = []
+    for label, v in zip(labels, vals):
+        bar_len = int(round(v / peak * width))
+        lines.append(
+            f"{str(label).ljust(label_w)}  "
+            f"{'#' * bar_len}{' ' * (width - bar_len)}  "
+            f"{v:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_compare(
+    xs: Sequence[int],
+    series: dict,
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "n",
+) -> str:
+    """Plot several integer series against common x values as ASCII.
+
+    Each series gets a distinct marker; collisions show the later marker.
+    Intended for "t* vs n across adversaries" pictures in examples.
+    """
+    if not xs or not series:
+        return ""
+    markers = "ox+*#@%&"
+    all_vals = [v for ys in series.values() for v in ys]
+    lo, hi = min(all_vals), max(all_vals)
+    span = max(hi - lo, 1)
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = max(x_hi - x_lo, 1)
+
+    def col(x: int) -> int:
+        return int((x - x_lo) / x_span * (width - 1))
+
+    def row(y: float) -> int:
+        return height - 1 - int((y - lo) / span * (height - 1))
+
+    legend = []
+    for (name, ys), marker in zip(series.items(), markers):
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, ys):
+            grid[row(y)][col(x)] = marker
+
+    lines = ["".join(r) for r in grid]
+    lines.append("-" * width)
+    lines.append(f"{x_label}: {x_lo} .. {x_hi}   y: {lo} .. {hi}")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def trajectory_panel(
+    title: str,
+    trajectories: dict,
+) -> str:
+    """Labelled sparkline panel: one line per named trajectory."""
+    if not trajectories:
+        return title
+    label_w = max(len(str(k)) for k in trajectories)
+    lines = [title]
+    for name, values in trajectories.items():
+        first = values[0] if len(values) else ""
+        last = values[-1] if len(values) else ""
+        lines.append(
+            f"  {str(name).ljust(label_w)}  {sparkline(values)}  "
+            f"({first} -> {last})"
+        )
+    return "\n".join(lines)

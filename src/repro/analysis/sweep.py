@@ -1,0 +1,102 @@
+"""Parameter sweeps: broadcast time across ``n`` and adversaries.
+
+The benchmark harnesses are thin wrappers over these functions, so the
+same sweeps are available programmatically (and in the CLI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.bounds import lower_bound, upper_bound
+from repro.core.broadcast import run_adversary
+from repro.types import AdversaryProtocol
+
+
+@dataclass
+class SweepPoint:
+    """One (adversary, n) measurement."""
+
+    adversary: str
+    n: int
+    t_star: int
+    lower: int
+    upper: int
+
+    @property
+    def normalized(self) -> float:
+        """``t*/n``."""
+        return self.t_star / self.n
+
+    @property
+    def within_bounds(self) -> bool:
+        """Theorem 3.1 upper bound respected (must always hold)."""
+        return self.t_star <= self.upper
+
+
+@dataclass
+class SweepResult:
+    """A grid of measurements with helpers for tabulation."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def by_adversary(self) -> Dict[str, List[SweepPoint]]:
+        """Group points by adversary name (insertion-ordered)."""
+        groups: Dict[str, List[SweepPoint]] = {}
+        for p in self.points:
+            groups.setdefault(p.adversary, []).append(p)
+        return groups
+
+    def ns(self) -> List[int]:
+        """Sorted distinct ``n`` values."""
+        return sorted({p.n for p in self.points})
+
+    def all_within_bounds(self) -> bool:
+        """True iff no measurement violates the Theorem 3.1 upper bound."""
+        return all(p.within_bounds for p in self.points)
+
+    def best_per_n(self) -> Dict[int, SweepPoint]:
+        """The strongest adversary measurement for each ``n``."""
+        best: Dict[int, SweepPoint] = {}
+        for p in self.points:
+            if p.n not in best or p.t_star > best[p.n].t_star:
+                best[p.n] = p
+        return best
+
+
+def sweep_adversaries(
+    adversary_factories: Dict[str, Callable[[int], AdversaryProtocol]],
+    ns: Sequence[int],
+    max_rounds: Optional[int] = None,
+) -> SweepResult:
+    """Measure ``t*`` for every (factory, n) pair.
+
+    ``adversary_factories`` maps a display name to ``n -> adversary``.
+    """
+    result = SweepResult()
+    for n in ns:
+        for name, factory in adversary_factories.items():
+            adv = factory(n)
+            run = run_adversary(adv, n, max_rounds=max_rounds)
+            if run.t_star is None:
+                continue  # truncated by an explicit cap: skip the point
+            result.points.append(
+                SweepPoint(
+                    adversary=name,
+                    n=n,
+                    t_star=run.t_star,
+                    lower=lower_bound(n),
+                    upper=upper_bound(n),
+                )
+            )
+    return result
+
+
+def sweep_n(
+    factory: Callable[[int], AdversaryProtocol],
+    ns: Sequence[int],
+    name: str = "adversary",
+) -> SweepResult:
+    """Sweep one adversary family over ``n``."""
+    return sweep_adversaries({name: factory}, ns)

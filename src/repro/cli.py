@@ -1,0 +1,299 @@
+"""Command-line interface: ``repro-broadcast``.
+
+Subcommands
+-----------
+``bounds``    print every Figure 1 / Theorem 3.1 formula for given n
+``figure1``   regenerate the Figure 1 comparison table over a range of n
+``simulate``  run one adversary and report t* (optionally save a trace)
+``sweep``     run the adversary portfolio over a range of n
+``exact``     exhaustive game solve for small n
+``lemmas``    spot-check the executable lemmas on random configurations
+``experiment``run a registered experiment (E1..E8) and print its table
+
+Examples
+--------
+::
+
+    repro-broadcast bounds -n 64
+    repro-broadcast figure1 --ns 8 16 32 64
+    repro-broadcast simulate -n 12 --adversary cyclic --trace out.json
+    repro-broadcast sweep --ns 6 8 10 12
+    repro-broadcast exact -n 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro._version import __version__
+
+
+def _adversary_factories() -> Dict[str, Callable[[int], object]]:
+    """Name -> factory map for the ``simulate`` subcommand."""
+    from repro.adversaries import (
+        AlternatingPathAdversary,
+        CyclicFamilyAdversary,
+        GreedyDelayAdversary,
+        RandomTreeAdversary,
+        RunnerAdversary,
+        SortedPathAdversary,
+        StaticPathAdversary,
+        ZeinerStyleAdversary,
+    )
+
+    return {
+        "static-path": StaticPathAdversary,
+        "alternating": lambda n: AlternatingPathAdversary(n, period=1),
+        "sorted": lambda n: SortedPathAdversary(n),
+        "zeiner-style": ZeinerStyleAdversary,
+        "runner": RunnerAdversary,
+        "cyclic": CyclicFamilyAdversary,
+        "greedy": GreedyDelayAdversary,
+        "random": lambda n: RandomTreeAdversary(n, seed=0),
+    }
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    """Print all bound formulas at one ``n``."""
+    from repro.analysis.tables import format_table
+    from repro.core.bounds import all_bounds
+
+    rows = [(name, value) for name, value in all_bounds(args.n, k=args.k).items()]
+    print(format_table(["bound", "value"], rows, title=f"Bounds at n={args.n}"))
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    """Regenerate the Figure 1 table over several ``n``."""
+    from repro.analysis.tables import format_table
+    from repro.core import bounds as B
+
+    headers = [
+        "n",
+        "trivial n^2",
+        "n log n [14]",
+        "2n loglog n+2n [9]",
+        "(1+sqrt2)n (new)",
+        f"2kn k={args.k} leaves",
+        f"2kn k={args.k} inner",
+        "lower bound [14]",
+    ]
+    rows = []
+    for n in args.ns:
+        rows.append(
+            (
+                n,
+                B.trivial_upper_bound(n),
+                B.nlogn_upper_bound(n),
+                B.fugger_nowak_winkler_upper_bound(n),
+                B.upper_bound(n),
+                B.k_leaves_upper_bound(n, args.k),
+                B.k_inner_upper_bound(n, args.k),
+                B.lower_bound(n),
+            )
+        )
+    print(format_table(headers, rows, title="Figure 1: known and new bounds"))
+    print(
+        f"\ncrossover (new beats n log n): n >= {B.crossover_nlogn_vs_linear()}"
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one adversary, print the sandwich report, optionally trace."""
+    from repro.core.theorem import sandwich
+    from repro.engine.runner import run_engine
+
+    factories = _adversary_factories()
+    if args.adversary not in factories:
+        print(
+            f"unknown adversary {args.adversary!r}; choose from "
+            f"{sorted(factories)}",
+            file=sys.stderr,
+        )
+        return 2
+    adv = factories[args.adversary](args.n)
+    run = run_engine(adv, args.n)
+    assert run.t_star is not None
+    print(sandwich(args.n, run.t_star))
+    print(f"tree shapes played: {run.metrics.shape_histogram}")
+    if args.trace:
+        run.trace.save(args.trace)
+        print(f"trace written to {args.trace}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Portfolio sweep over a range of ``n``."""
+    from repro.adversaries.zeiner import best_known_adversary
+    from repro.analysis.tables import format_table
+    from repro.core.bounds import lower_bound, upper_bound
+
+    rows = []
+    for n in args.ns:
+        adv, result, _ = best_known_adversary(
+            n, include_search=not args.fast
+        )
+        rows.append(
+            (
+                n,
+                lower_bound(n),
+                result.t_star,
+                upper_bound(n),
+                f"{result.t_star / n:.3f}",
+                adv.name,
+            )
+        )
+    print(
+        format_table(
+            ["n", "LB formula", "best t*", "UB formula", "t*/n", "best adversary"],
+            rows,
+            title="Theorem 3.1 sandwich: measured vs formulas",
+        )
+    )
+    return 0
+
+
+def cmd_exact(args: argparse.Namespace) -> int:
+    """Exhaustive solve for small ``n``."""
+    from repro.adversaries.exact import ExactGameSolver
+    from repro.core.bounds import lower_bound, upper_bound
+
+    solver = ExactGameSolver(args.n, max_states=args.max_states)
+    result = solver.solve()
+    print(
+        f"t*(T_{args.n}) = {result.t_star} exactly "
+        f"(formulas: LB={lower_bound(args.n)}, UB={upper_bound(args.n)})"
+    )
+    print(
+        f"states explored: {result.states_explored}; trees per state: "
+        f"{result.tree_count}; solve time: {result.elapsed_seconds:.2f}s"
+    )
+    if args.show_sequence:
+        for i, tree in enumerate(solver.optimal_sequence(), start=1):
+            print(f"round {i}: parents={list(tree.parents)}")
+    return 0
+
+
+def cmd_lemmas(args: argparse.Namespace) -> int:
+    """Spot-check the executable lemmas on random configurations."""
+    import numpy as np
+
+    from repro.analysis.stalling import verify_lemmas_on_round
+    from repro.core.state import BroadcastState
+    from repro.trees.generators import random_tree
+
+    rng = np.random.default_rng(args.seed)
+    failures = 0
+    for trial in range(args.trials):
+        state = BroadcastState.initial(args.n)
+        warmup = int(rng.integers(0, 2 * args.n))
+        for _ in range(warmup):
+            state.apply_tree_inplace(random_tree(args.n, rng))
+        tree = random_tree(args.n, rng)
+        r, s1, s2 = verify_lemmas_on_round(state, tree)
+        if not (r and s1 and s2):
+            failures += 1
+            print(f"trial {trial}: lemma failure (R={r}, S={s1}/{s2})")
+    print(
+        f"{args.trials} random configurations checked, {failures} failures"
+    )
+    return 0 if failures == 0 else 1
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one registered experiment (or all) and print its table."""
+    from repro.experiments import get_experiment, list_experiments
+
+    if args.id == "list":
+        for spec in list_experiments():
+            print(f"{spec.experiment_id}: {spec.title} ({spec.paper_artifact})")
+        return 0
+    if args.id == "all":
+        ok = True
+        for spec in list_experiments():
+            table = spec.run()
+            print(table.render())
+            print()
+            ok = ok and table.checks_passed
+        return 0 if ok else 1
+    try:
+        spec = get_experiment(args.id)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    table = spec.run()
+    print(table.render())
+    return 0 if table.checks_passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-broadcast",
+        description=(
+            "Broadcast in dynamic rooted trees (PODC 2022 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bounds", help="print bound formulas at one n")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("-k", type=int, default=3, help="k for restricted rows")
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("figure1", help="regenerate the Figure 1 table")
+    p.add_argument("--ns", type=int, nargs="+", default=[8, 16, 32, 64, 128])
+    p.add_argument("-k", type=int, default=3)
+    p.set_defaults(func=cmd_figure1)
+
+    p = sub.add_parser("simulate", help="run one adversary")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument(
+        "--adversary", default="cyclic", help="adversary name (see docs)"
+    )
+    p.add_argument("--trace", default=None, help="write a JSON trace here")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("sweep", help="portfolio sweep over n")
+    p.add_argument("--ns", type=int, nargs="+", default=[6, 8, 10, 12])
+    p.add_argument(
+        "--fast", action="store_true", help="skip slow search adversaries"
+    )
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("exact", help="exhaustive game solve (small n)")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("--max-states", type=int, default=5_000_000)
+    p.add_argument("--show-sequence", action="store_true")
+    p.set_defaults(func=cmd_exact)
+
+    p = sub.add_parser("lemmas", help="spot-check executable lemmas")
+    p.add_argument("-n", type=int, default=8)
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_lemmas)
+
+    p = sub.add_parser(
+        "experiment", help="run a registered experiment (E1..E8, list, all)"
+    )
+    p.add_argument("id", help="experiment id, 'list', or 'all'")
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-broadcast`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

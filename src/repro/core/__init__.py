@@ -1,0 +1,69 @@
+"""Core model: product graphs, broadcast state, broadcast time, bounds.
+
+This package implements Section 2 of the paper verbatim:
+
+* :mod:`~repro.core.matrix` -- reflexive boolean adjacency matrices and the
+  product ``A ∘ B`` of Definition 2.1;
+* :mod:`~repro.core.state` -- :class:`~repro.core.state.BroadcastState`, the
+  evolving product graph ``G(t) = G_1 ∘ ... ∘ G_t``;
+* :mod:`~repro.core.broadcast` -- broadcast time ``t*`` (Definitions 2.2 and
+  2.3) for fixed sequences and adversaries;
+* :mod:`~repro.core.bounds` -- every bound in Figure 1 and Theorem 3.1;
+* :mod:`~repro.core.potential` -- per-round quantities of the paper's
+  matrix-evolution analysis;
+* :mod:`~repro.core.theorem` -- executable checks of Theorem 3.1.
+"""
+
+from repro.core.matrix import (
+    bool_product,
+    compose_with_tree,
+    identity_matrix,
+    is_reflexive,
+    matrix_key,
+    validate_adjacency,
+)
+from repro.core.state import BroadcastState
+from repro.core.product import product_of_trees, product_graph
+from repro.core.broadcast import (
+    BroadcastResult,
+    broadcast_time_adversary,
+    broadcast_time_sequence,
+    run_adversary,
+    run_sequence,
+)
+from repro.core.bounds import (
+    fugger_nowak_winkler_upper_bound,
+    k_inner_upper_bound,
+    k_leaves_upper_bound,
+    lower_bound,
+    nlogn_upper_bound,
+    trivial_upper_bound,
+    upper_bound,
+)
+from repro.core.theorem import check_theorem_31, sandwich
+
+__all__ = [
+    "identity_matrix",
+    "validate_adjacency",
+    "is_reflexive",
+    "bool_product",
+    "compose_with_tree",
+    "matrix_key",
+    "BroadcastState",
+    "product_graph",
+    "product_of_trees",
+    "BroadcastResult",
+    "broadcast_time_sequence",
+    "broadcast_time_adversary",
+    "run_sequence",
+    "run_adversary",
+    "lower_bound",
+    "upper_bound",
+    "trivial_upper_bound",
+    "nlogn_upper_bound",
+    "fugger_nowak_winkler_upper_bound",
+    "k_leaves_upper_bound",
+    "k_inner_upper_bound",
+    "check_theorem_31",
+    "sandwich",
+]

@@ -1,0 +1,255 @@
+"""Broadcast time ``t*`` (Definitions 2.2 and 2.3) and run drivers.
+
+Two entry points mirror the paper's two definitions:
+
+* :func:`broadcast_time_sequence` -- ``t*(G_1, G_2, ...)`` for an explicit
+  sequence of trees (Definition 2.2);
+* :func:`broadcast_time_adversary` -- drive an adversary until broadcast
+  completes, returning the achieved ``t*`` (a *witness* for Definition
+  2.3's max; the exact solver in ``repro.adversaries.exact`` computes the
+  max itself for small ``n``).
+
+Both return a :class:`BroadcastResult` carrying the final state, the first
+broadcaster(s), and optional per-round history for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import matrix as M
+from repro.core.bounds import trivial_upper_bound
+from repro.core.state import BroadcastState
+from repro.errors import AdversaryError, SimulationError
+from repro.trees.rooted_tree import RootedTree
+from repro.types import AdversaryProtocol, validate_node_count
+
+
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """What happened in one round (kept only when history is requested)."""
+
+    round_index: int
+    tree: RootedTree
+    new_edges: int
+    max_reach: int
+    min_reach: int
+    broadcaster_count: int
+
+
+@dataclass
+class BroadcastResult:
+    """Outcome of running a tree sequence / adversary to completion.
+
+    Attributes
+    ----------
+    t_star:
+        The broadcast time: first round at which some node has reached all.
+        ``None`` if the run was truncated before completion.
+    n:
+        Number of processes.
+    broadcasters:
+        The nodes with full reach rows at time ``t_star``.
+    final_state:
+        The product-graph state at the end of the run.
+    history:
+        Optional per-round snapshots (empty unless requested).
+    trees:
+        The sequence of trees actually played (empty unless requested).
+    """
+
+    t_star: Optional[int]
+    n: int
+    broadcasters: Tuple[int, ...]
+    final_state: BroadcastState
+    history: List[RoundSnapshot] = field(default_factory=list)
+    trees: List[RootedTree] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """True iff broadcast finished within the allotted rounds."""
+        return self.t_star is not None
+
+    def normalized_time(self) -> Optional[float]:
+        """``t*/n`` -- the constant the paper's bounds are about."""
+        if self.t_star is None:
+            return None
+        return self.t_star / self.n
+
+
+def run_sequence(
+    trees: Sequence[RootedTree],
+    n: Optional[int] = None,
+    keep_history: bool = False,
+    stop_at_broadcast: bool = True,
+) -> BroadcastResult:
+    """Run an explicit sequence of trees from the identity state.
+
+    Parameters
+    ----------
+    trees:
+        Round graphs for rounds ``1 .. len(trees)``.
+    n:
+        Node count; inferred from the first tree when omitted.
+    keep_history:
+        Record per-round snapshots (costs one matrix scan per round).
+    stop_at_broadcast:
+        Stop at the first broadcaster (Definition 2.2).  When False the
+        whole sequence is applied; ``t_star`` still reports the first
+        completion round if one occurred.
+
+    Returns
+    -------
+    BroadcastResult
+        With ``t_star=None`` if the sequence ended before broadcast.
+    """
+    if n is None:
+        if not trees:
+            raise SimulationError("cannot infer n from an empty sequence")
+        n = trees[0].n
+    validate_node_count(n)
+    state = BroadcastState.initial(n)
+    result_t: Optional[int] = None
+    history: List[RoundSnapshot] = []
+    played: List[RootedTree] = []
+    for i, tree in enumerate(trees, start=1):
+        before_edges = state.edge_count()
+        state.apply_tree_inplace(tree)
+        played.append(tree)
+        if keep_history:
+            sizes = state.reach_sizes()
+            history.append(
+                RoundSnapshot(
+                    round_index=i,
+                    tree=tree,
+                    new_edges=state.edge_count() - before_edges,
+                    max_reach=int(sizes.max()),
+                    min_reach=int(sizes.min()),
+                    broadcaster_count=len(state.broadcasters()),
+                )
+            )
+        if result_t is None and state.is_broadcast_complete():
+            result_t = i
+            if stop_at_broadcast:
+                break
+    return BroadcastResult(
+        t_star=result_t,
+        n=n,
+        broadcasters=state.broadcasters(),
+        final_state=state,
+        history=history,
+        trees=played,
+    )
+
+
+def run_adversary(
+    adversary: AdversaryProtocol,
+    n: int,
+    max_rounds: Optional[int] = None,
+    keep_history: bool = False,
+    keep_trees: bool = False,
+) -> BroadcastResult:
+    """Drive an adversary until broadcast completes (or ``max_rounds``).
+
+    The default round cap is the paper's trivial ``n²`` bound: any legal
+    adversary must finish by then, so hitting the cap indicates a bug (an
+    illegal adversary) and raises :class:`AdversaryError` -- unless the
+    caller supplied an explicit smaller ``max_rounds``, in which case a
+    truncated result (``t_star=None``) is returned.
+    """
+    validate_node_count(n)
+    cap = max_rounds if max_rounds is not None else trivial_upper_bound(n)
+    explicit_cap = max_rounds is not None
+    adversary.reset()
+    state = BroadcastState.initial(n)
+    history: List[RoundSnapshot] = []
+    played: List[RootedTree] = []
+    t = 0
+    while not state.is_broadcast_complete():
+        if t >= cap:
+            if explicit_cap:
+                return BroadcastResult(
+                    t_star=None,
+                    n=n,
+                    broadcasters=(),
+                    final_state=state,
+                    history=history,
+                    trees=played,
+                )
+            raise AdversaryError(
+                f"adversary did not allow broadcast within the trivial bound "
+                f"n² = {cap}; rooted trees guarantee termination, so the "
+                "adversary produced illegal round graphs"
+            )
+        t += 1
+        tree = adversary.next_tree(state, t)
+        if not isinstance(tree, RootedTree):
+            raise AdversaryError(
+                f"adversary returned {type(tree).__name__}, expected RootedTree"
+            )
+        if tree.n != n:
+            raise AdversaryError(
+                f"adversary returned a tree over {tree.n} nodes in a game over {n}"
+            )
+        before_edges = state.edge_count()
+        state.apply_tree_inplace(tree)
+        if keep_trees:
+            played.append(tree)
+        if keep_history:
+            sizes = state.reach_sizes()
+            history.append(
+                RoundSnapshot(
+                    round_index=t,
+                    tree=tree,
+                    new_edges=state.edge_count() - before_edges,
+                    max_reach=int(sizes.max()),
+                    min_reach=int(sizes.min()),
+                    broadcaster_count=len(state.broadcasters()),
+                )
+            )
+    return BroadcastResult(
+        t_star=t,
+        n=n,
+        broadcasters=state.broadcasters(),
+        final_state=state,
+        history=history,
+        trees=played,
+    )
+
+
+def broadcast_time_sequence(trees: Sequence[RootedTree], n: Optional[int] = None) -> Optional[int]:
+    """``t*`` of an explicit sequence (Definition 2.2); ``None`` if unfinished."""
+    return run_sequence(trees, n=n).t_star
+
+
+def broadcast_time_adversary(
+    adversary: AdversaryProtocol, n: int, max_rounds: Optional[int] = None
+) -> Optional[int]:
+    """``t*`` achieved by an adversary on ``n`` processes."""
+    return run_adversary(adversary, n, max_rounds=max_rounds).t_star
+
+
+def first_broadcaster(trees: Sequence[RootedTree], n: Optional[int] = None) -> Optional[int]:
+    """The smallest-index node that completes broadcast first, if any."""
+    result = run_sequence(trees, n=n)
+    if not result.broadcasters:
+        return None
+    return result.broadcasters[0]
+
+
+def verify_certificate(
+    trees: Sequence[RootedTree],
+    claimed_t_star: int,
+    n: Optional[int] = None,
+) -> bool:
+    """Check that ``claimed_t_star`` is exactly the ``t*`` of the sequence.
+
+    Used to validate results produced by search adversaries and the exact
+    solver: a claimed value must be achieved at round ``claimed_t_star``
+    and *not* any earlier.
+    """
+    result = run_sequence(trees, n=n, stop_at_broadcast=True)
+    return result.t_star == claimed_t_star

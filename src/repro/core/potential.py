@@ -1,0 +1,152 @@
+"""Per-round quantities of the paper's adjacency-matrix analysis.
+
+The paper's proof works by "a detailed analysis of the evolution of the
+adjacency matrix of the network over time" (Section 3).  This module makes
+that lens executable: given a state (or a run history), compute the
+quantities such an analysis watches --
+
+* row sums (reach-set sizes) and their extremes,
+* column sums (heard-of-set sizes),
+* new-edge counts per round (>= 1 while unfinished, Section 2),
+* the number of nodes stalled by the played tree,
+* a family of scalar *potentials* that summarize progress.
+
+These feed adversary scoring (a good adversary keeps potentials low) and
+the analysis reports in :mod:`repro.analysis.evolution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.state import BroadcastState
+from repro.trees.rooted_tree import RootedTree
+from repro.trees.subtree import stalled_nodes
+
+
+@dataclass(frozen=True)
+class MatrixPotential:
+    """Scalar summaries of one product-graph matrix.
+
+    Attributes
+    ----------
+    round_index: round at which the matrix was observed.
+    edges: number of ones in the matrix (self-loops included).
+    max_row: largest reach-set size.
+    min_row: smallest reach-set size.
+    max_col: largest heard-of-set size.
+    min_col: smallest heard-of-set size.
+    full_rows: number of broadcasters.
+    rows_above_half: rows with more than n/2 ones -- the "heavy" nodes the
+        adversary must keep from finishing.
+    quadratic_row_potential: ``sum_x |R_x|²/n²`` -- convex potential that
+        rewards keeping knowledge spread evenly (low when balanced).
+    """
+
+    round_index: int
+    edges: int
+    max_row: int
+    min_row: int
+    max_col: int
+    min_col: int
+    full_rows: int
+    rows_above_half: int
+    quadratic_row_potential: float
+
+
+def matrix_potential(state: BroadcastState) -> MatrixPotential:
+    """Compute :class:`MatrixPotential` for one state."""
+    rows = state.reach_sizes()
+    cols = state.heard_of_sizes()
+    n = state.n
+    return MatrixPotential(
+        round_index=state.round_index,
+        edges=int(rows.sum()),
+        max_row=int(rows.max()),
+        min_row=int(rows.min()),
+        max_col=int(cols.max()),
+        min_col=int(cols.min()),
+        full_rows=int((rows == n).sum()),
+        rows_above_half=int((rows * 2 > n).sum()),
+        quadratic_row_potential=float((rows.astype(np.float64) ** 2).sum())
+        / float(n * n),
+    )
+
+
+def row_histogram(state: BroadcastState) -> np.ndarray:
+    """``hist[s]`` = number of nodes whose reach-set size is ``s``.
+
+    Indexed ``0 .. n``; index 0 is always zero (self-loops).
+    """
+    n = state.n
+    hist = np.zeros(n + 1, dtype=np.int64)
+    for s in state.reach_sizes():
+        hist[int(s)] += 1
+    return hist
+
+
+def column_histogram(state: BroadcastState) -> np.ndarray:
+    """``hist[s]`` = number of nodes heard of by exactly ``s`` processes."""
+    n = state.n
+    hist = np.zeros(n + 1, dtype=np.int64)
+    for s in state.heard_of_sizes():
+        hist[int(s)] += 1
+    return hist
+
+
+def stall_fraction(state: BroadcastState, tree: RootedTree) -> float:
+    """Fraction of nodes a hypothetical next tree would stall.
+
+    The adversary's ideal round stalls everyone but the root (which always
+    gains, Lemma R); a value close to ``(n-1)/n`` marks a strong move.
+    """
+    st = stalled_nodes(tree, state.reach_matrix_view())
+    return len(st) / state.n
+
+
+@dataclass(frozen=True)
+class RoundDelta:
+    """Progress made by one round: the paper's >=1-new-edge observation."""
+
+    round_index: int
+    new_edges: int
+    nodes_that_gained: int
+    root: int
+    root_gain: int
+
+
+def round_delta(
+    before: BroadcastState, after: BroadcastState, tree: RootedTree
+) -> RoundDelta:
+    """Quantify the progress from ``before`` to ``after`` along ``tree``."""
+    b = before.reach_matrix_view()
+    a = after.reach_matrix_view()
+    gained = (a & ~b).sum(axis=1)
+    return RoundDelta(
+        round_index=after.round_index,
+        new_edges=int(gained.sum()),
+        nodes_that_gained=int((gained > 0).sum()),
+        root=tree.root,
+        root_gain=int(gained[tree.root]),
+    )
+
+
+def minimum_new_edges_invariant(deltas: Sequence[RoundDelta]) -> bool:
+    """Section 2's invariant: every round adds at least one edge.
+
+    Holds for all rounds up to and including the completing round.
+    """
+    return all(d.new_edges >= 1 for d in deltas)
+
+
+def knowledge_balance(state: BroadcastState) -> float:
+    """Normalized imbalance of reach sizes: ``(max - min) / n``.
+
+    0 means everyone knows equally much; values near 1 mean a runaway
+    leader, which the adversary must prevent to stretch the game.
+    """
+    rows = state.reach_sizes()
+    return float(rows.max() - rows.min()) / state.n

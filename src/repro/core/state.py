@@ -1,0 +1,217 @@
+"""The evolving product graph ``G(t)`` as a first-class object.
+
+:class:`BroadcastState` is the object every adversary observes and every
+engine advances: the reflexive boolean matrix ``G(t) = G_1 ∘ ... ∘ G_t``
+together with the round counter and convenience queries (reach sets,
+broadcasters, stalled nodes for a hypothetical next tree).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import matrix as M
+from repro.errors import DimensionMismatchError, SimulationError
+from repro.trees.rooted_tree import RootedTree
+from repro.types import validate_node_count
+
+
+class BroadcastState:
+    """The product graph after some number of rounds.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    reach:
+        Optional initial matrix (defaults to the identity = round 0).  The
+        matrix must be reflexive: processes never forget their own value.
+    round_index:
+        How many rounds produced ``reach`` (0 for the identity).
+    """
+
+    __slots__ = ("_reach", "_round", "_n")
+
+    def __init__(
+        self,
+        n: int,
+        reach: Optional[np.ndarray] = None,
+        round_index: int = 0,
+    ) -> None:
+        self._n = validate_node_count(n)
+        if reach is None:
+            self._reach = M.identity_matrix(self._n)
+        else:
+            arr = M.validate_adjacency(reach, require_reflexive=True)
+            if arr.shape[0] != self._n:
+                raise DimensionMismatchError(
+                    f"reach matrix over {arr.shape[0]} nodes but n={self._n}"
+                )
+            self._reach = arr.copy()
+        if round_index < 0:
+            raise SimulationError(f"round_index must be >= 0, got {round_index}")
+        self._round = int(round_index)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self._n
+
+    @property
+    def round_index(self) -> int:
+        """Number of rounds applied so far (``t`` in ``G(t)``)."""
+        return self._round
+
+    @property
+    def reach_matrix(self) -> np.ndarray:
+        """A *copy* of the boolean product-graph matrix."""
+        return self._reach.copy()
+
+    def reach_matrix_view(self) -> np.ndarray:
+        """Read-only view of the matrix (no copy).
+
+        Mutating the returned array is undefined behaviour; use it for hot
+        read paths like adversary scoring.
+        """
+        view = self._reach.view()
+        view.setflags(write=False)
+        return view
+
+    def reach_set(self, x: int) -> FrozenSet[int]:
+        """All nodes process ``x`` has reached (row ``x``), including itself."""
+        return frozenset(int(v) for v in np.nonzero(self._reach[x])[0])
+
+    def heard_of_set(self, y: int) -> FrozenSet[int]:
+        """All nodes that have reached ``y`` (column ``y``), including itself."""
+        return frozenset(int(v) for v in np.nonzero(self._reach[:, y])[0])
+
+    def reach_sizes(self) -> np.ndarray:
+        """Vector of row sums: how many nodes each process reached."""
+        return self._reach.sum(axis=1).astype(np.int64)
+
+    def heard_of_sizes(self) -> np.ndarray:
+        """Vector of column sums: how many processes reached each node."""
+        return self._reach.sum(axis=0).astype(np.int64)
+
+    def broadcasters(self) -> Tuple[int, ...]:
+        """Nodes that have reached everyone (full rows)."""
+        return M.broadcasters(self._reach)
+
+    def is_broadcast_complete(self) -> bool:
+        """Definition 2.2's stopping event: some node reached everyone."""
+        return M.has_broadcaster(self._reach)
+
+    def edge_count(self) -> int:
+        """Number of product-graph edges (self-loops included)."""
+        return M.edge_count(self._reach)
+
+    def missing(self, x: int) -> FrozenSet[int]:
+        """Nodes process ``x`` has not reached yet."""
+        return frozenset(int(v) for v in np.nonzero(~self._reach[x])[0])
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+
+    def apply_tree(self, tree: RootedTree) -> "BroadcastState":
+        """Return the state after one more round along ``tree``.
+
+        Pure: the receiver is unchanged.  The round counter increments.
+        """
+        if tree.n != self._n:
+            raise DimensionMismatchError(
+                f"tree over {tree.n} nodes applied to state over {self._n}"
+            )
+        new_reach = M.compose_with_tree(self._reach, tree)
+        return BroadcastState(self._n, new_reach, self._round + 1)
+
+    def apply_tree_inplace(self, tree: RootedTree) -> "BroadcastState":
+        """Advance this state by one round along ``tree`` (mutating)."""
+        if tree.n != self._n:
+            raise DimensionMismatchError(
+                f"tree over {tree.n} nodes applied to state over {self._n}"
+            )
+        M.compose_with_tree_inplace(self._reach, tree)
+        self._round += 1
+        return self
+
+    def apply_graph(self, adjacency: np.ndarray) -> "BroadcastState":
+        """Compose with an arbitrary reflexive round graph.
+
+        Used by the nonsplit-adversary experiments where the round graph is
+        not a tree.  The graph must be reflexive, preserving monotonicity.
+        """
+        g = M.validate_adjacency(adjacency, require_reflexive=True)
+        new_reach = M.bool_product(self._reach, g)
+        return BroadcastState(self._n, new_reach, self._round + 1)
+
+    def would_stall(self, tree: RootedTree) -> FrozenSet[int]:
+        """Nodes that would gain nothing if ``tree`` were played next."""
+        from repro.trees.subtree import stalled_nodes
+
+        return stalled_nodes(tree, self._reach)
+
+    def gains_under(self, tree: RootedTree) -> np.ndarray:
+        """Per-node number of new nodes gained if ``tree`` were played."""
+        parent = tree.parent_array_numpy()
+        gains = self._reach[:, parent] & ~self._reach
+        return gains.sum(axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Identity / bookkeeping
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "BroadcastState":
+        """Deep copy."""
+        return BroadcastState(self._n, self._reach, self._round)
+
+    def key(self) -> bytes:
+        """Hashable packed-bit key of the matrix (round index excluded)."""
+        return M.matrix_key(self._reach)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BroadcastState):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._round == other._round
+            and bool((self._reach == other._reach).all())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BroadcastState(n={self._n}, round={self._round}, "
+            f"edges={self.edge_count()}, "
+            f"broadcasters={len(self.broadcasters())})"
+        )
+
+    def summary(self) -> str:
+        """One-line human summary used by traces and the CLI."""
+        sizes = self.reach_sizes()
+        return (
+            f"t={self._round} edges={self.edge_count()} "
+            f"min|R|={int(sizes.min())} max|R|={int(sizes.max())} "
+            f"done={self.is_broadcast_complete()}"
+        )
+
+    @classmethod
+    def initial(cls, n: int) -> "BroadcastState":
+        """The canonical starting state ``G(0) = identity``."""
+        return cls(n)
+
+    @classmethod
+    def from_rows(cls, rows: List[FrozenSet[int]], round_index: int = 0) -> "BroadcastState":
+        """Build a state from explicit reach sets (row ``x`` = ``rows[x]``)."""
+        n = len(rows)
+        reach = np.zeros((n, n), dtype=np.bool_)
+        for x, row in enumerate(rows):
+            for y in row:
+                reach[x, int(y)] = True
+            reach[x, x] = True
+        return cls(n, reach, round_index)

@@ -1,0 +1,130 @@
+"""Run drivers tying adversaries, engines, traces, and metrics together.
+
+:func:`run_engine` is the instrumented counterpart of
+:func:`repro.core.broadcast.run_adversary`: it drives an adversary, records
+a full :class:`~repro.engine.trace.Trace`, and collects
+:class:`~repro.engine.metrics.RunMetrics`.
+
+:func:`compare_engines` executes one tree sequence through both the matrix
+engine and the process-level heard-of simulator and checks they agree --
+the executable form of "the two implementations define the same model".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.bounds import trivial_upper_bound
+from repro.core.broadcast import run_sequence
+from repro.core.state import BroadcastState
+from repro.engine.events import RoundRecord
+from repro.engine.metrics import MetricsCollector, RunMetrics
+from repro.engine.simulator import HeardOfSimulator
+from repro.engine.trace import Trace, TraceRecorder
+from repro.errors import AdversaryError, SimulationError
+from repro.trees.rooted_tree import RootedTree
+from repro.types import AdversaryProtocol, validate_node_count
+
+
+@dataclass
+class EngineRun:
+    """Everything an instrumented run produces."""
+
+    t_star: Optional[int]
+    trace: Trace
+    metrics: RunMetrics
+    final_state: BroadcastState
+
+
+def run_engine(
+    adversary: AdversaryProtocol,
+    n: int,
+    max_rounds: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> EngineRun:
+    """Drive ``adversary`` with full instrumentation.
+
+    Unlike the bare :func:`~repro.core.broadcast.run_adversary`, this
+    records a replayable trace and per-round metrics.  The default round
+    cap is the trivial ``n²`` bound; exceeding it raises
+    :class:`AdversaryError` (a legal adversary cannot survive that long).
+    """
+    validate_node_count(n)
+    cap = max_rounds if max_rounds is not None else trivial_upper_bound(n)
+    adversary.reset()
+    name = getattr(adversary, "name", type(adversary).__name__)
+    recorder = TraceRecorder(n, name, seed=seed)
+    collector = MetricsCollector(n)
+    state = BroadcastState.initial(n)
+    t = 0
+    while not state.is_broadcast_complete():
+        if t >= cap:
+            if max_rounds is not None:
+                break
+            raise AdversaryError(
+                f"adversary {name!r} exceeded the trivial n² cap ({cap})"
+            )
+        t += 1
+        tree = adversary.next_tree(state, t)
+        before_edges = state.edge_count()
+        state.apply_tree_inplace(tree)
+        sizes = state.reach_sizes()
+        record = RoundRecord(
+            round_index=t,
+            parents=tree.parents,
+            new_edges=state.edge_count() - before_edges,
+            max_reach=int(sizes.max()),
+            min_reach=int(sizes.min()),
+            broadcaster_count=len(state.broadcasters()),
+        )
+        recorder.record_round(record)
+        collector.observe_round(record, tree)
+    t_star = t if state.is_broadcast_complete() else None
+    return EngineRun(
+        t_star=t_star,
+        trace=recorder.finish(t_star),
+        metrics=collector.finish(t_star),
+        final_state=state,
+    )
+
+
+def compare_engines(
+    trees: Sequence[RootedTree], n: Optional[int] = None
+) -> Tuple[Optional[int], Optional[int]]:
+    """Run a sequence through both engines; raise on any disagreement.
+
+    Returns the (identical) broadcast times as a pair.  Checks, after the
+    full sequence:
+
+    * identical broadcast times,
+    * the matrix engine's rows equal the simulator's reach sets,
+    * the matrix engine's columns equal the simulator's heard-of sets.
+    """
+    if n is None:
+        if not trees:
+            raise SimulationError("cannot infer n from an empty sequence")
+        n = trees[0].n
+    matrix_result = run_sequence(trees, n=n, stop_at_broadcast=False)
+    sim = HeardOfSimulator(n)
+    sim_t = sim.run(trees, stop_at_broadcast=False)
+    if matrix_result.t_star != sim_t:
+        raise SimulationError(
+            f"engines disagree on t*: matrix={matrix_result.t_star}, "
+            f"simulator={sim_t}"
+        )
+    final = matrix_result.final_state
+    for x in range(n):
+        if final.reach_set(x) != sim.reach_of(x):
+            raise SimulationError(
+                f"engines disagree on reach set of node {x}: "
+                f"matrix={sorted(final.reach_set(x))}, "
+                f"simulator={sorted(sim.reach_of(x))}"
+            )
+        if final.heard_of_set(x) != sim.heard_of(x):
+            raise SimulationError(
+                f"engines disagree on heard-of set of node {x}: "
+                f"matrix={sorted(final.heard_of_set(x))}, "
+                f"simulator={sorted(sim.heard_of(x))}"
+            )
+    return matrix_result.t_star, sim_t

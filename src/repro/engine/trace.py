@@ -1,0 +1,143 @@
+"""Trace recording, JSON serialization, and replay validation.
+
+A :class:`Trace` is the complete, replayable record of one run: ``n``, the
+adversary's name, every round's tree and statistics, and the final
+broadcast time.  :func:`replay_trace` re-executes the recorded trees
+through the matrix engine and verifies every recorded statistic --
+regression protection for both engines and the serialization itself.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.broadcast import run_sequence
+from repro.engine.events import RoundRecord
+from repro.errors import TraceError
+from repro.trees.rooted_tree import RootedTree
+
+#: Format version written into every serialized trace.
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A replayable run record."""
+
+    n: int
+    adversary_name: str
+    rounds: List[RoundRecord] = field(default_factory=list)
+    t_star: Optional[int] = None
+    seed: Optional[int] = None
+
+    def trees(self) -> List[RootedTree]:
+        """Reconstruct the played trees."""
+        return [RootedTree(r.parents) for r in self.rounds]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON string."""
+        doc = {
+            "format_version": TRACE_FORMAT_VERSION,
+            "n": self.n,
+            "adversary_name": self.adversary_name,
+            "t_star": self.t_star,
+            "seed": self.seed,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+        return json.dumps(doc, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Parse a trace from JSON; validates the format version."""
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"trace is not valid JSON: {exc}") from exc
+        version = doc.get("format_version")
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceError(
+                f"unsupported trace format version {version!r} "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        for key in ("n", "adversary_name", "rounds"):
+            if key not in doc:
+                raise TraceError(f"trace is missing required key {key!r}")
+        return cls(
+            n=int(doc["n"]),
+            adversary_name=str(doc["adversary_name"]),
+            rounds=[RoundRecord.from_dict(r) for r in doc["rounds"]],
+            t_star=doc.get("t_star"),
+            seed=doc.get("seed"),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace to ``path`` as indented JSON."""
+        Path(path).write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
+
+class TraceRecorder:
+    """Build a :class:`Trace` from an instrumented run.
+
+    Use with :func:`repro.engine.runner.run_engine` or feed it round
+    records manually.
+    """
+
+    def __init__(self, n: int, adversary_name: str, seed: Optional[int] = None) -> None:
+        self._trace = Trace(n=n, adversary_name=adversary_name, seed=seed)
+
+    def record_round(self, record: RoundRecord) -> None:
+        """Append one round record (rounds must arrive in order)."""
+        expected = len(self._trace.rounds) + 1
+        if record.round_index != expected:
+            raise TraceError(
+                f"round records out of order: got {record.round_index}, "
+                f"expected {expected}"
+            )
+        self._trace.rounds.append(record)
+
+    def finish(self, t_star: Optional[int]) -> Trace:
+        """Seal the trace with the final broadcast time."""
+        self._trace.t_star = t_star
+        return self._trace
+
+
+def replay_trace(trace: Trace) -> bool:
+    """Re-execute a trace and verify every recorded statistic.
+
+    Returns True on success; raises :class:`TraceError` on the first
+    mismatch (with a message naming the round and the field).
+    """
+    trees = trace.trees()
+    result = run_sequence(
+        trees, n=trace.n, keep_history=True, stop_at_broadcast=False
+    )
+    if result.t_star != trace.t_star:
+        raise TraceError(
+            f"replay t*={result.t_star} does not match recorded {trace.t_star}"
+        )
+    if len(result.history) != len(trace.rounds):
+        raise TraceError(
+            f"replay produced {len(result.history)} rounds, "
+            f"trace has {len(trace.rounds)}"
+        )
+    for snap, rec in zip(result.history, trace.rounds):
+        for name, got, want in (
+            ("new_edges", snap.new_edges, rec.new_edges),
+            ("max_reach", snap.max_reach, rec.max_reach),
+            ("min_reach", snap.min_reach, rec.min_reach),
+            ("broadcaster_count", snap.broadcaster_count, rec.broadcaster_count),
+        ):
+            if got != want:
+                raise TraceError(
+                    f"round {rec.round_index}: {name} mismatch "
+                    f"(replay {got}, recorded {want})"
+                )
+    return True

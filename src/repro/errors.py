@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Specific subclasses communicate
+which subsystem rejected the input:
+
+* :class:`InvalidTreeError` -- a structure claimed to be a rooted tree is not.
+* :class:`InvalidGraphError` -- a boolean adjacency matrix is malformed.
+* :class:`DimensionMismatchError` -- two objects over different node counts
+  were combined.
+* :class:`AdversaryError` -- an adversary produced an illegal move or was
+  driven past its defined horizon.
+* :class:`SearchBudgetExceeded` -- an exact/beam search hit its configured
+  node or transition cap before completing.
+* :class:`SimulationError` -- the round-based engine was misused (e.g. asked
+  to step a finished simulation without permission).
+* :class:`TraceError` -- a recorded trace failed validation or replay.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidTreeError(ReproError, ValueError):
+    """A parent array / edge set does not describe a rooted tree."""
+
+
+class InvalidGraphError(ReproError, ValueError):
+    """A matrix is not a valid (square, boolean, reflexive) adjacency matrix."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Objects defined over different numbers of nodes were combined."""
+
+
+class AdversaryError(ReproError, RuntimeError):
+    """An adversary produced an illegal tree or was driven out of range."""
+
+
+class SearchBudgetExceeded(ReproError, RuntimeError):
+    """An exhaustive or beam search exceeded its configured budget.
+
+    Attributes
+    ----------
+    states_explored:
+        Number of distinct states explored before the cap was hit.
+    """
+
+    def __init__(self, message: str, states_explored: int = 0) -> None:
+        super().__init__(message)
+        self.states_explored = states_explored
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The synchronous round engine was used incorrectly."""
+
+
+class TraceError(ReproError, ValueError):
+    """A serialized trace is malformed or fails replay validation."""

@@ -1,0 +1,31 @@
+"""Programmatic experiment registry.
+
+Each experiment of DESIGN.md's per-experiment index (E1..E8) is runnable
+three ways: via the benchmark harness (``pytest benchmarks/ -m table``),
+via the CLI (``repro-broadcast experiment E2``), and programmatically
+through this package:
+
+>>> from repro.experiments import get_experiment, list_experiments
+>>> table = get_experiment("E2").run()        # doctest: +SKIP
+>>> print(table.render())                     # doctest: +SKIP
+
+The registry's run functions use CLI-friendly (smaller) parameter grids
+than the benchmark harnesses; the benchmarks remain the authoritative
+regeneration path recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.registry import (
+    ExperimentSpec,
+    ExperimentTable,
+    get_experiment,
+    list_experiments,
+    run_all,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentTable",
+    "get_experiment",
+    "list_experiments",
+    "run_all",
+]

@@ -1,0 +1,38 @@
+"""Extensions beyond broadcast (the paper's Section 5 future work).
+
+* :mod:`~repro.gossip.gossip` -- all-to-all dissemination (gossip) time
+  under the same dynamic-rooted-tree adversaries;
+* :mod:`~repro.gossip.consensus` -- heard-of-model helpers: the nonsplit
+  reduction of Charron-Bost, Függer, Nowak [1] (``n - 1`` tree rounds
+  simulate one nonsplit round) as executable checks.
+"""
+
+from repro.gossip.gossip import (
+    GossipResult,
+    gossip_time_adversary,
+    gossip_time_sequence,
+)
+from repro.gossip.consensus import (
+    blocks_are_nonsplit,
+    nonsplit_block_count,
+    simulate_nonsplit_rounds,
+)
+from repro.gossip.threshold import (
+    ThresholdProfile,
+    compare_profiles,
+    threshold_profile_adversary,
+    threshold_profile_sequence,
+)
+
+__all__ = [
+    "GossipResult",
+    "gossip_time_sequence",
+    "gossip_time_adversary",
+    "blocks_are_nonsplit",
+    "nonsplit_block_count",
+    "simulate_nonsplit_rounds",
+    "ThresholdProfile",
+    "threshold_profile_sequence",
+    "threshold_profile_adversary",
+    "compare_profiles",
+]

@@ -1,0 +1,104 @@
+"""Structural distances between rooted trees, and sequence dynamicity.
+
+How *dynamic* is a dynamic-network adversary really?  These metrics
+quantify per-round change:
+
+* :func:`parent_hamming` -- number of nodes whose parent pointer differs
+  (0 = identical trees; up to ``n``);
+* :func:`edge_jaccard_distance` -- 1 − |E₁∩E₂| / |E₁∪E₂| over directed
+  edge sets;
+* :func:`root_moved` -- did the adversary re-root?
+
+:func:`sequence_dynamicity` folds a whole played sequence into summary
+statistics, used by the analysis examples to contrast the static path
+(dynamicity 0) with the lower-bound construction (which re-roots almost
+every round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import DimensionMismatchError
+from repro.trees.rooted_tree import RootedTree
+
+
+def parent_hamming(a: RootedTree, b: RootedTree) -> int:
+    """Number of nodes whose parent differs between the two trees."""
+    if a.n != b.n:
+        raise DimensionMismatchError(
+            f"cannot compare trees over {a.n} and {b.n} nodes"
+        )
+    return sum(1 for pa, pb in zip(a.parents, b.parents) if pa != pb)
+
+
+def edge_jaccard_distance(a: RootedTree, b: RootedTree) -> float:
+    """``1 − |E_a ∩ E_b| / |E_a ∪ E_b|`` over directed (parent, child) edges.
+
+    0.0 for identical trees, 1.0 for edge-disjoint ones.  Single-node
+    trees (no edges) have distance 0 by convention.
+    """
+    if a.n != b.n:
+        raise DimensionMismatchError(
+            f"cannot compare trees over {a.n} and {b.n} nodes"
+        )
+    ea, eb = set(a.edges()), set(b.edges())
+    union = ea | eb
+    if not union:
+        return 0.0
+    return 1.0 - len(ea & eb) / len(union)
+
+
+def root_moved(a: RootedTree, b: RootedTree) -> bool:
+    """True iff the two trees have different roots."""
+    if a.n != b.n:
+        raise DimensionMismatchError(
+            f"cannot compare trees over {a.n} and {b.n} nodes"
+        )
+    return a.root != b.root
+
+
+@dataclass(frozen=True)
+class DynamicityReport:
+    """Per-sequence change statistics.
+
+    Attributes
+    ----------
+    rounds: number of transitions measured (len(sequence) − 1).
+    mean_parent_hamming: average per-round parent changes.
+    mean_edge_jaccard: average per-round edge Jaccard distance.
+    reroot_fraction: fraction of transitions that moved the root.
+    max_parent_hamming: the largest single-round change.
+    """
+
+    rounds: int
+    mean_parent_hamming: float
+    mean_edge_jaccard: float
+    reroot_fraction: float
+    max_parent_hamming: int
+
+
+def sequence_dynamicity(trees: Sequence[RootedTree]) -> DynamicityReport:
+    """Summarize how much a played sequence changes round to round.
+
+    A single tree (or empty sequence) reports zero dynamicity.
+    """
+    if len(trees) < 2:
+        return DynamicityReport(0, 0.0, 0.0, 0.0, 0)
+    hams: List[int] = []
+    jaccards: List[float] = []
+    reroots = 0
+    for a, b in zip(trees, trees[1:]):
+        hams.append(parent_hamming(a, b))
+        jaccards.append(edge_jaccard_distance(a, b))
+        if root_moved(a, b):
+            reroots += 1
+    k = len(hams)
+    return DynamicityReport(
+        rounds=k,
+        mean_parent_hamming=sum(hams) / k,
+        mean_edge_jaccard=sum(jaccards) / k,
+        reroot_fraction=reroots / k,
+        max_parent_hamming=max(hams),
+    )

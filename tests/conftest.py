@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import BroadcastState
+from repro.trees.generators import path, random_tree, star
+from repro.trees.rooted_tree import RootedTree
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG shared by stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path5() -> RootedTree:
+    """The identity path on 5 nodes."""
+    return path(5)
+
+
+@pytest.fixture
+def star5() -> RootedTree:
+    """The star on 5 nodes centered at 0."""
+    return star(5)
+
+
+@pytest.fixture
+def caterpillar6() -> RootedTree:
+    """A small non-trivial tree: 0 -> {1, 2}, 1 -> {3, 4}, 2 -> 5."""
+    return RootedTree([0, 0, 0, 1, 1, 2])
+
+
+@pytest.fixture
+def midgame_state(rng: np.random.Generator) -> BroadcastState:
+    """A state several random rounds into a 7-node game (not finished)."""
+    state = BroadcastState.initial(7)
+    while True:
+        candidate = state.apply_tree(random_tree(7, rng))
+        if candidate.is_broadcast_complete():
+            return state
+        state = candidate
+        if state.round_index >= 4:
+            return state

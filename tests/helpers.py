@@ -1,0 +1,29 @@
+"""Non-fixture helpers shared across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import BroadcastState
+from repro.trees.generators import random_tree
+
+
+def make_random_state(n: int, rounds: int, seed: int) -> BroadcastState:
+    """A reproducible mid-game state after ``rounds`` random rounds."""
+    gen = np.random.default_rng(seed)
+    state = BroadcastState.initial(n)
+    for _ in range(rounds):
+        state.apply_tree_inplace(random_tree(n, gen))
+    return state
+
+
+def make_unfinished_state(n: int, seed: int, max_rounds: int = 6) -> BroadcastState:
+    """A random state guaranteed not to be broadcast-complete."""
+    gen = np.random.default_rng(seed)
+    state = BroadcastState.initial(n)
+    for _ in range(max_rounds):
+        nxt = state.apply_tree(random_tree(n, gen))
+        if nxt.is_broadcast_complete():
+            break
+        state = nxt
+    return state

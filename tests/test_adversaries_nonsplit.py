@@ -1,0 +1,82 @@
+"""Tests for the nonsplit-graph adversaries (related work, E6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversaries.nonsplit import (
+    NonsplitAdversary,
+    broadcast_time_nonsplit,
+    cyclic_nonsplit_graph,
+    nonsplit_radius,
+    random_nonsplit_graph,
+)
+from repro.core.product import is_nonsplit
+from repro.errors import AdversaryError, InvalidGraphError
+
+
+class TestGraphFamilies:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 16])
+    def test_cyclic_family_is_nonsplit(self, n):
+        assert is_nonsplit(cyclic_nonsplit_graph(n))
+
+    def test_cyclic_rejects_small_window(self):
+        with pytest.raises(InvalidGraphError):
+            cyclic_nonsplit_graph(8, window=2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_family_is_nonsplit(self, seed):
+        rng = np.random.default_rng(seed)
+        assert is_nonsplit(random_nonsplit_graph(12, rng=rng))
+
+    def test_random_family_reflexive(self):
+        a = random_nonsplit_graph(8, rng=np.random.default_rng(0))
+        assert a.diagonal().all()
+
+    def test_in_degree_parameter_respected_roughly(self):
+        a = random_nonsplit_graph(20, in_degree=4, rng=np.random.default_rng(1))
+        # Repairs may add a few edges, but columns stay small-ish.
+        assert a.sum(axis=0).max() <= 10
+
+
+class TestNonsplitAdversary:
+    @pytest.mark.parametrize("mode", ["cyclic", "random", "rotating"])
+    def test_modes_complete_fast(self, mode):
+        n = 16
+        t, state = broadcast_time_nonsplit(NonsplitAdversary(n, mode=mode), n)
+        assert state.is_broadcast_complete()
+        # Nonsplit graphs cannot stall: much faster than the tree bound.
+        assert t <= n
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(AdversaryError):
+            NonsplitAdversary(5, mode="bogus")
+
+    def test_random_mode_reproducible(self):
+        n = 10
+        t1, _ = broadcast_time_nonsplit(NonsplitAdversary(n, seed=4), n)
+        t2, _ = broadcast_time_nonsplit(NonsplitAdversary(n, seed=4), n)
+        assert t1 == t2
+
+    def test_split_graph_detected(self):
+        class Liar(NonsplitAdversary):
+            def next_graph(self, state, round_index):
+                return np.eye(self._n, dtype=bool)  # identity is split
+
+        with pytest.raises(AdversaryError, match="split graph"):
+            broadcast_time_nonsplit(Liar(5), 5)
+
+
+class TestRadius:
+    def test_cyclic_radius_small(self):
+        # Columns of size > n/2 merge everyone within about log rounds.
+        assert nonsplit_radius(cyclic_nonsplit_graph(16)) <= 4
+
+    def test_complete_graph_radius_one(self):
+        assert nonsplit_radius(np.ones((5, 5), dtype=bool)) == 1
+
+    def test_radius_grows_slowly(self):
+        # The [9] claim shape: radius is way below n.
+        for n in (8, 32, 64):
+            assert nonsplit_radius(cyclic_nonsplit_graph(n)) <= 8

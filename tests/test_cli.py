@@ -1,0 +1,86 @@
+"""Tests for the repro-broadcast CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestBounds:
+    def test_bounds_output(self, capsys):
+        assert main(["bounds", "-n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "new_linear" in out
+        assert "38" in out  # upper_bound(16)
+
+
+class TestFigure1:
+    def test_figure1_table(self, capsys):
+        assert main(["figure1", "--ns", "8", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "crossover" in out
+
+
+class TestSimulate:
+    def test_simulate_cyclic(self, capsys):
+        assert main(["simulate", "-n", "8", "--adversary", "cyclic"]) == 0
+        out = capsys.readouterr().out
+        assert "t*=10" in out  # LB formula at n=8
+
+    def test_simulate_unknown_adversary(self, capsys):
+        assert main(["simulate", "-n", "6", "--adversary", "nope"]) == 2
+        assert "unknown adversary" in capsys.readouterr().err
+
+    def test_simulate_writes_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.json"
+        code = main(
+            [
+                "simulate",
+                "-n",
+                "6",
+                "--adversary",
+                "static-path",
+                "--trace",
+                str(trace_file),
+            ]
+        )
+        assert code == 0
+        assert trace_file.exists()
+        from repro.engine.trace import Trace, replay_trace
+
+        assert replay_trace(Trace.load(trace_file))
+
+
+class TestSweepExactLemmas:
+    def test_sweep_fast(self, capsys):
+        assert main(["sweep", "--ns", "5", "6", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "sandwich" in out.lower()
+
+    def test_exact_small(self, capsys):
+        assert main(["exact", "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "t*(T_3) = 2 exactly" in out
+
+    def test_exact_with_sequence(self, capsys):
+        assert main(["exact", "-n", "3", "--show-sequence"]) == 0
+        out = capsys.readouterr().out
+        assert "round 1" in out
+
+    def test_lemmas_clean(self, capsys):
+        assert main(["lemmas", "-n", "5", "--trials", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failures" in out

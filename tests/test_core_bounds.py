@@ -1,0 +1,102 @@
+"""Unit tests for the bound formulas of Figure 1 / Theorem 3.1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import bounds as B
+
+
+class TestHeadlineBounds:
+    def test_upper_bound_formula(self):
+        # ⌈(1+√2)n − 1⌉ spot values.
+        assert B.upper_bound(1) == math.ceil(1 + math.sqrt(2) - 1)
+        assert B.upper_bound(4) == 9    # ceil(8.657)
+        assert B.upper_bound(10) == 24  # ceil(23.142)
+        assert B.upper_bound(100) == 241
+
+    def test_lower_bound_formula(self):
+        # ⌈(3n−1)/2⌉ − 2 spot values (clamped at small n).
+        assert B.lower_bound(1) == 0
+        assert B.lower_bound(2) == 1
+        assert B.lower_bound(3) == 2
+        assert B.lower_bound(4) == 4
+        assert B.lower_bound(5) == 5
+        assert B.lower_bound(6) == 7
+        assert B.lower_bound(101) == 149
+
+    def test_sandwich_order(self):
+        for n in range(1, 200):
+            assert B.lower_bound(n) <= B.upper_bound(n)
+
+    def test_upper_is_about_2_414_n(self):
+        n = 10_000
+        assert B.upper_bound(n) / n == pytest.approx(1 + math.sqrt(2), abs=1e-3)
+
+    def test_lower_is_about_1_5_n(self):
+        n = 10_000
+        assert B.lower_bound(n) / n == pytest.approx(1.5, abs=1e-3)
+
+
+class TestLegacyBounds:
+    def test_trivial_bound(self):
+        assert B.trivial_upper_bound(7) == 49
+
+    def test_static_path(self):
+        assert B.static_path_time(8) == 7
+
+    def test_nlogn(self):
+        assert B.nlogn_upper_bound(1) == 0
+        assert B.nlogn_upper_bound(8) == 24
+        assert B.nlogn_upper_bound(16) == 64
+
+    def test_loglog_degenerates_small_n(self):
+        assert B.fugger_nowak_winkler_upper_bound(2) == 4
+
+    def test_loglog_value(self):
+        # 2·16·log2(log2 16) + 2·16 = 32·2 + 32 = 96.
+        assert B.fugger_nowak_winkler_upper_bound(16) == 96
+
+    def test_restricted_bounds_linear_in_n(self):
+        assert B.k_leaves_upper_bound(10, 3) == 60
+        assert B.k_inner_upper_bound(10, 3) == 60
+        assert B.k_leaves_upper_bound(20, 3) == 2 * B.k_leaves_upper_bound(10, 3)
+
+    def test_restricted_bounds_reject_bad_k(self):
+        with pytest.raises(ValueError):
+            B.k_leaves_upper_bound(10, 0)
+        with pytest.raises(ValueError):
+            B.k_inner_upper_bound(10, -1)
+
+
+class TestOrderingAsymptotics:
+    def test_figure1_ordering_large_n(self):
+        # For large n: new linear < loglog < nlogn < trivial (Figure 1's story).
+        n = 4096
+        assert (
+            B.upper_bound(n)
+            < B.fugger_nowak_winkler_upper_bound(n)
+            < B.nlogn_upper_bound(n)
+            < B.trivial_upper_bound(n)
+        )
+
+    def test_crossover_nlogn(self):
+        cross = B.crossover_nlogn_vs_linear()
+        assert B.nlogn_upper_bound(cross) > B.upper_bound(cross)
+        assert B.nlogn_upper_bound(cross - 1) <= B.upper_bound(cross - 1)
+
+    def test_crossover_loglog(self):
+        cross = B.crossover_loglog_vs_linear()
+        assert B.fugger_nowak_winkler_upper_bound(cross) > B.upper_bound(cross)
+
+    def test_all_bounds_keys(self):
+        table = B.all_bounds(32, k=2)
+        assert table["new_linear"] == B.upper_bound(32)
+        assert table["k_leaves_k=2"] == B.k_leaves_upper_bound(32, 2)
+        assert len(table) == 8
+
+
+def test_linear_constant():
+    assert B.LINEAR_CONSTANT == pytest.approx(2.41421356, abs=1e-6)

@@ -1,0 +1,79 @@
+"""Unit tests for the matrix-evolution potentials."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.potential import (
+    column_histogram,
+    knowledge_balance,
+    matrix_potential,
+    minimum_new_edges_invariant,
+    round_delta,
+    row_histogram,
+    stall_fraction,
+)
+from repro.core.state import BroadcastState
+from repro.trees.generators import path, random_tree, star
+
+from helpers import make_random_state
+
+
+class TestMatrixPotential:
+    def test_initial_state_values(self):
+        p = matrix_potential(BroadcastState.initial(5))
+        assert p.edges == 5
+        assert p.max_row == p.min_row == 1
+        assert p.full_rows == 0
+        assert p.rows_above_half == 0
+        assert p.quadratic_row_potential == pytest.approx(5 / 25)
+
+    def test_after_star(self):
+        s = BroadcastState.initial(4).apply_tree(star(4))
+        p = matrix_potential(s)
+        assert p.max_row == 4
+        assert p.full_rows == 1
+        assert p.rows_above_half == 1
+
+    def test_histograms_sum_to_n(self):
+        s = make_random_state(6, rounds=3, seed=5)
+        assert row_histogram(s).sum() == 6
+        assert column_histogram(s).sum() == 6
+        assert row_histogram(s)[0] == 0  # self-loops: no empty rows
+
+
+class TestRoundDelta:
+    def test_delta_counts(self):
+        before = BroadcastState.initial(4)
+        after = before.apply_tree(path(4))
+        d = round_delta(before, after, path(4))
+        assert d.new_edges == 3
+        assert d.nodes_that_gained == 3
+        assert d.root == 0
+        assert d.root_gain == 1
+
+    def test_invariant_holds_on_random_runs(self, rng):
+        n = 6
+        state = BroadcastState.initial(n)
+        deltas = []
+        while not state.is_broadcast_complete():
+            t = random_tree(n, rng)
+            nxt = state.apply_tree(t)
+            deltas.append(round_delta(state, nxt, t))
+            state = nxt
+        assert minimum_new_edges_invariant(deltas)
+
+
+class TestScalars:
+    def test_stall_fraction_star_from_identity(self):
+        s = BroadcastState.initial(5)
+        # A star stalls all leaves (4 of 5 nodes).
+        assert stall_fraction(s, star(5)) == pytest.approx(4 / 5)
+
+    def test_knowledge_balance_zero_initially(self):
+        assert knowledge_balance(BroadcastState.initial(5)) == 0.0
+
+    def test_knowledge_balance_after_star(self):
+        s = BroadcastState.initial(5).apply_tree(star(5))
+        assert knowledge_balance(s) == pytest.approx(4 / 5)

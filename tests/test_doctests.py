@@ -1,0 +1,14 @@
+"""Keep the runnable examples in docstrings honest."""
+
+from __future__ import annotations
+
+import doctest
+
+import repro
+
+
+def test_package_root_doctest():
+    """The quickstart in the package docstring must actually run."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 4  # the quickstart has several lines

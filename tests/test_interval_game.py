@@ -1,0 +1,97 @@
+"""Tests for the arc-game abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.interval_game import (
+    ArcState,
+    all_moves,
+    arc_game_optimal_sequence,
+    arc_game_value,
+    move_tree,
+    step,
+    validate_abstraction,
+)
+from repro.analysis.intervals import CyclicInterval
+from repro.core.bounds import lower_bound
+from repro.errors import SearchBudgetExceeded
+
+
+class TestArcState:
+    def test_initial(self):
+        s = ArcState.initial(4)
+        assert not s.is_finished()
+        assert s.key() == ((0, 1), (1, 1), (2, 1), (3, 1))
+
+    def test_finished_detection(self):
+        full = CyclicInterval(3, 0, 3)
+        partial = CyclicInterval(3, 1, 1)
+        assert ArcState(3, (full, partial, partial)).is_finished()
+
+
+class TestStep:
+    def test_forward_freezes_right_end(self):
+        s = ArcState.initial(4)
+        nxt = step(s, (False, 0))  # forward path 0,1,2,3: last node is 3
+        # Node 3's arc (right end 3 == s-1) frozen; others extend right.
+        assert nxt.arcs[3].length == 1
+        assert nxt.arcs[0].members() == {0, 1}
+        assert nxt.arcs[2].members() == {2, 3}
+
+    def test_backward_freezes_left_end(self):
+        s = ArcState.initial(4)
+        nxt = step(s, (True, 0))  # backward path 0,3,2,1: last node is 1
+        assert nxt.arcs[1].length == 1
+        assert nxt.arcs[0].members() == {3, 0}
+        assert nxt.arcs[2].members() == {1, 2}
+
+    def test_full_arcs_never_change(self):
+        full = CyclicInterval(3, 0, 3)
+        tiny = CyclicInterval(3, 1, 1)
+        s = ArcState(3, (full, tiny, tiny))
+        nxt = step(s, (False, 0))
+        assert nxt.arcs[0].is_full()
+
+
+class TestMoveBridge:
+    def test_move_tree_is_rotated_path(self):
+        t = move_tree(5, (False, 2))
+        assert t.root == 2 and t.is_path()
+        tb = move_tree(5, (True, 2))
+        assert tb.root == 2 and (2, 1) in tb.edges()
+
+    def test_all_moves_count(self):
+        assert len(all_moves(6)) == 12
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_abstraction_matches_model_on_optimal_lines(self, n):
+        seq = arc_game_optimal_sequence(n)
+        assert validate_abstraction(n, seq)
+
+    def test_abstraction_matches_model_on_arbitrary_moves(self):
+        moves = [(False, 0), (True, 2), (False, 3), (True, 1), (False, 1)]
+        assert validate_abstraction(5, moves)
+
+
+class TestValue:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_restricted_game_value_is_n_minus_1(self, n):
+        """The quantitative ablation: rotated paths alone achieve exactly
+        n − 1 -- strictly below the full game's ⌈(3n−1)/2⌉ − 2 for n >= 4,
+        which is why the chain-fan moves are essential."""
+        v = arc_game_value(n)
+        assert v == n - 1
+        if n >= 4:
+            assert v < lower_bound(n)
+
+    def test_single_node(self):
+        assert arc_game_value(1) == 0
+
+    def test_budget_guard(self):
+        with pytest.raises(SearchBudgetExceeded):
+            arc_game_value(6, max_states=2)
+
+    def test_optimal_sequence_length_matches_value(self):
+        n = 5
+        assert len(arc_game_optimal_sequence(n)) == arc_game_value(n)

@@ -1,0 +1,168 @@
+"""Tests for threshold broadcast, tree distances, and falsification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries.oblivious import StaticTreeAdversary
+from repro.adversaries.zeiner import CyclicFamilyAdversary
+from repro.analysis.falsification import (
+    CampaignResult,
+    falsification_campaign,
+)
+from repro.core.bounds import lower_bound, upper_bound
+from repro.core.broadcast import run_adversary
+from repro.errors import AdversaryError, DimensionMismatchError
+from repro.gossip.threshold import (
+    compare_profiles,
+    threshold_profile_adversary,
+    threshold_profile_sequence,
+)
+from repro.trees.distance import (
+    edge_jaccard_distance,
+    parent_hamming,
+    root_moved,
+    sequence_dynamicity,
+)
+from repro.trees.generators import path, reversed_path, star
+
+
+class TestThresholdProfile:
+    def test_static_path_profile_is_arithmetic(self):
+        # Under the static path, the leader (node 0) gains one node per
+        # round: t*_k = k - 1.
+        n = 8
+        profile = threshold_profile_sequence([path(n)] * n, n)
+        for k in range(1, n + 1):
+            assert profile.time_for(k) == k - 1
+        assert profile.broadcast_time == n - 1
+        assert profile.is_monotone()
+
+    def test_star_profile_jumps(self):
+        profile = threshold_profile_sequence([star(5)], 5)
+        assert profile.time_for(1) == 0
+        assert profile.time_for(5) == 1  # everything arrives at once
+
+    def test_truncated_sequence_has_nones(self):
+        profile = threshold_profile_sequence([path(6)] * 2, 6)
+        assert profile.time_for(3) == 2
+        assert profile.time_for(6) is None
+
+    def test_adversary_profile_matches_broadcast_time(self):
+        n = 8
+        profile = threshold_profile_adversary(CyclicFamilyAdversary(n), n)
+        expected = run_adversary(CyclicFamilyAdversary(n), n).t_star
+        assert profile.broadcast_time == expected == lower_bound(n)
+        assert profile.is_monotone()
+
+    def test_marginal_costs_sum_to_total(self):
+        n = 7
+        profile = threshold_profile_adversary(CyclicFamilyAdversary(n), n)
+        marginals = profile.marginal_costs()
+        assert all(m is not None for m in marginals)
+        assert sum(marginals) == profile.broadcast_time - profile.time_for(1)
+
+    def test_adversary_delays_the_tail(self):
+        # The delaying adversary makes late thresholds relatively
+        # expensive: the last marginal cost is at least the first.
+        n = 10
+        profile = threshold_profile_adversary(CyclicFamilyAdversary(n), n)
+        marginals = profile.marginal_costs()
+        assert marginals[-1] >= marginals[0]
+
+    def test_k_validation(self):
+        profile = threshold_profile_sequence([path(4)] * 4, 4)
+        with pytest.raises(ValueError):
+            profile.time_for(0)
+        with pytest.raises(ValueError):
+            profile.time_for(5)
+
+    def test_compare_profiles_rows(self):
+        n = 5
+        p1 = threshold_profile_sequence([path(n)] * n, n)
+        p2 = threshold_profile_sequence([star(n)] * n, n)
+        rows = compare_profiles({"path": p1, "star": p2})
+        assert len(rows) == n
+        assert rows[0] == (1, 0, 0)
+
+    def test_compare_profiles_rejects_mixed_n(self):
+        p1 = threshold_profile_sequence([path(4)] * 4, 4)
+        p2 = threshold_profile_sequence([path(5)] * 5, 5)
+        with pytest.raises(ValueError):
+            compare_profiles({"a": p1, "b": p2})
+
+
+class TestTreeDistance:
+    def test_identical_trees_zero(self):
+        assert parent_hamming(path(5), path(5)) == 0
+        assert edge_jaccard_distance(path(5), path(5)) == 0.0
+        assert not root_moved(path(5), path(5))
+
+    def test_reversed_path_maximal(self):
+        a, b = path(4), reversed_path(4)
+        assert parent_hamming(a, b) == 4
+        assert edge_jaccard_distance(a, b) == 1.0
+        assert root_moved(a, b)
+
+    def test_single_node_convention(self):
+        from repro.trees.rooted_tree import RootedTree
+
+        t = RootedTree([0])
+        assert edge_jaccard_distance(t, t) == 0.0
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            parent_hamming(path(4), path(5))
+        with pytest.raises(DimensionMismatchError):
+            edge_jaccard_distance(path(4), path(5))
+        with pytest.raises(DimensionMismatchError):
+            root_moved(path(4), path(5))
+
+    def test_static_sequence_zero_dynamicity(self):
+        report = sequence_dynamicity([path(6)] * 5)
+        assert report.mean_parent_hamming == 0.0
+        assert report.reroot_fraction == 0.0
+        assert report.rounds == 4
+
+    def test_lower_bound_witness_is_highly_dynamic(self):
+        n = 8
+        result = run_adversary(CyclicFamilyAdversary(n), n, keep_trees=True)
+        report = sequence_dynamicity(result.trees)
+        assert report.mean_parent_hamming > 1.0
+        # The family re-roots (unlike the static path) though tie-breaking
+        # keeps a favourite start node for stretches.
+        assert report.reroot_fraction > 0.1
+
+    def test_short_sequences(self):
+        assert sequence_dynamicity([]).rounds == 0
+        assert sequence_dynamicity([path(4)]).rounds == 0
+
+
+class TestFalsification:
+    def test_campaign_never_falsifies(self):
+        result = falsification_campaign(
+            6, random_seeds=2, annealing_iterations=100
+        )
+        assert isinstance(result, CampaignResult)
+        assert not result.falsified
+        assert result.best_t_star <= upper_bound(6)
+        assert result.headroom >= 0
+
+    def test_campaign_witnesses_lower_bound(self):
+        result = falsification_campaign(
+            6, random_seeds=1, annealing_iterations=50
+        )
+        assert result.meets_lower_bound
+        assert result.best_t_star == lower_bound(6)
+        assert "CyclicFamily" in result.best_strategy or "Exhaustive" in result.best_strategy
+
+    def test_leaderboard_covers_portfolio(self):
+        result = falsification_campaign(
+            5, random_seeds=1, annealing_iterations=50
+        )
+        assert len(result.leaderboard) >= 10
+        assert max(result.leaderboard.values()) == result.best_t_star
+
+    def test_rejects_n1(self):
+        with pytest.raises(AdversaryError):
+            falsification_campaign(1)
