@@ -20,6 +20,18 @@ Quickstart
 True
 >>> lower_bound(n) <= upper_bound(n)
 True
+
+Matrix kernels run on a pluggable backend (``dense`` boolean matrices or
+the word-packed ``bitset``; select via ``REPRO_BACKEND``, the CLI's
+``--backend``, or explicitly):
+
+>>> t == broadcast_time_adversary(StaticTreeAdversary(path(n)), n,
+...                               backend="bitset")
+True
+
+Batch many runs into one vectorized step per round with
+:class:`repro.engine.BatchRunner` / :func:`repro.engine.run_multi_seed`;
+see README.md for backend selection and measured speedups.
 """
 
 from repro._version import __version__

@@ -7,7 +7,10 @@ level (by the same score as the greedy adversary, accumulated
 lexicographically), and plays the first move of the best surviving line.
 
 Cost per round is ``O(depth * width * |pool| * n²)``; with the default
-pool this stays comfortable for ``n`` up to a few hundred.
+pool this stays comfortable for ``n`` up to a few hundred.  All
+candidates of one expansion are scored in a single batched composition
+(:func:`repro.engine.batch.score_candidates`) and only the ``width``
+survivors of a level are materialized as successor states.
 """
 
 from __future__ import annotations
@@ -15,9 +18,10 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.adversaries.base import Adversary
-from repro.adversaries.greedy import Score, score_tree
+from repro.adversaries.greedy import Score
 from repro.adversaries.pool import CandidatePool, PoolConfig
 from repro.core.state import BroadcastState
+from repro.engine.batch import score_candidates
 from repro.errors import AdversaryError
 from repro.trees.rooted_tree import RootedTree
 
@@ -60,41 +64,58 @@ class BeamSearchAdversary(Adversary):
 
     def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
         # Beam entries: (accumulated score path, state, first move).
-        # A state that finishes broadcast is pruned from further expansion
-        # but remembered as a last resort (if every line finishes, the
-        # adversary is cornered and must pick the least-bad losing move).
+        # A move whose successor finishes broadcast is pruned from further
+        # expansion but remembered as a last resort (if every line
+        # finishes, the adversary is cornered and must pick the least-bad
+        # losing move).  Beam states never contain a broadcaster, so a
+        # successor completes iff its score's first component (new
+        # broadcasters) is positive -- no successor state is needed to
+        # detect it.
         first_moves = self._pool.candidates(state)
         if not first_moves:
             raise AdversaryError("candidate pool produced no trees")
 
-        beam: List[Tuple[Tuple[Score, ...], BroadcastState, RootedTree]] = []
+        scores = score_candidates(state, first_moves)
+        if state.is_broadcast_complete():
+            # Degenerate call on a finished game: every move "finishes";
+            # play the least-bad one (the run loop never takes this path).
+            best_i = min(range(len(first_moves)), key=scores.__getitem__)
+            return first_moves[best_i]
+        surviving: List[Tuple[Tuple[Score, ...], RootedTree]] = []
         cornered: List[Tuple[Score, RootedTree]] = []
-        for tree in first_moves:
-            s = score_tree(state, tree)
-            nxt = state.apply_tree(tree)
-            if nxt.is_broadcast_complete():
+        for s, tree in zip(scores, first_moves):
+            if s[0] > 0:
                 cornered.append((s, tree))
             else:
-                beam.append(((s,), nxt, tree))
-        if not beam:
+                surviving.append(((s,), tree))
+        if not surviving:
             cornered.sort(key=lambda pair: pair[0])
             return cornered[0][1]
-        beam.sort(key=lambda entry: entry[0])
-        beam = beam[: self._width]
+        surviving.sort(key=lambda entry: entry[0])
+        beam: List[Tuple[Tuple[Score, ...], BroadcastState, RootedTree]] = [
+            (acc, state.apply_tree(tree), tree)
+            for acc, tree in surviving[: self._width]
+        ]
 
         for _ in range(self._depth - 1):
-            level: List[Tuple[Tuple[Score, ...], BroadcastState, RootedTree]] = []
+            level: List[
+                Tuple[Tuple[Score, ...], BroadcastState, RootedTree, RootedTree]
+            ] = []
             for acc, st, first in beam:
-                for tree in self._pool.candidates(st):
-                    s = score_tree(st, tree)
-                    nxt = st.apply_tree(tree)
-                    if nxt.is_broadcast_complete():
+                cands = self._pool.candidates(st)
+                if not cands:
+                    continue
+                for s, tree in zip(score_candidates(st, cands), cands):
+                    if s[0] > 0:  # this continuation finishes broadcast
                         continue
-                    level.append((acc + (s,), nxt, first))
+                    level.append((acc + (s,), st, tree, first))
             if not level:
                 break  # every continuation finishes: current beam is final
             level.sort(key=lambda entry: entry[0])
-            beam = level[: self._width]
+            beam = [
+                (acc, st.apply_tree(tree), first)
+                for acc, st, tree, first in level[: self._width]
+            ]
 
         return beam[0][2]
 

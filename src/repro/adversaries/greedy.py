@@ -13,6 +13,11 @@ lexicographic tuple; lower is better for the adversary:
 The tuple encodes the standard delaying heuristics: never finish if
 avoidable, then suppress the leader, then suppress near-finishers, then
 minimize aggregate progress.
+
+All candidates of a round are scored in ONE batched composition
+(:func:`repro.engine.batch.score_candidates`), so the search rides the
+selected matrix backend's vectorized kernels; :func:`score_tree` remains
+as the single-candidate reference implementation.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ import numpy as np
 from repro.adversaries.base import Adversary
 from repro.adversaries.pool import CandidatePool, PoolConfig
 from repro.core.state import BroadcastState
+from repro.engine.batch import score_candidates
 from repro.errors import AdversaryError
 from repro.trees.rooted_tree import RootedTree
 
@@ -78,14 +84,9 @@ class GreedyDelayAdversary(Adversary):
         candidates = self._pool.candidates(state)
         if not candidates:
             raise AdversaryError("candidate pool produced no trees")
-        best: Optional[RootedTree] = None
-        best_score: Optional[Score] = None
-        for tree in candidates:
-            s = score_tree(state, tree)
-            if best_score is None or s < best_score:
-                best, best_score = tree, s
-        assert best is not None
-        return best
+        scores = score_candidates(state, candidates)
+        best_i = min(range(len(candidates)), key=scores.__getitem__)
+        return candidates[best_i]
 
     def reset(self) -> None:
         self._pool.reset()
@@ -95,7 +96,7 @@ def rank_candidates(
     state: BroadcastState, candidates: List[RootedTree]
 ) -> List[Tuple[Score, RootedTree]]:
     """Sort candidates by score (best first); exposed for analysis tools."""
-    scored = [(score_tree(state, t), t) for t in candidates]
+    scored = list(zip(score_candidates(state, candidates), candidates))
     scored.sort(key=lambda pair: pair[0])
     return scored
 

@@ -15,6 +15,7 @@ Examples
 ::
 
     repro-broadcast bounds -n 64
+    repro-broadcast --backend bitset simulate -n 256 --adversary cyclic
     repro-broadcast figure1 --ns 8 16 32 64
     repro-broadcast simulate -n 12 --adversary cyclic --trace out.json
     repro-broadcast sweep --ns 6 8 10 12
@@ -240,6 +241,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
     )
+    parser.add_argument(
+        "--backend",
+        choices=["dense", "bitset"],
+        default=None,
+        help=(
+            "matrix backend for all kernels (default: $REPRO_BACKEND or "
+            "'dense'; 'bitset' packs rows 64-to-a-word)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("bounds", help="print bound formulas at one n")
@@ -292,6 +302,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-broadcast`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.core.backend import get_backend, set_default_backend
+
+    from repro.errors import BackendError
+
+    if args.backend is not None:
+        set_default_backend(args.backend)
+    else:
+        try:
+            get_backend()  # fail fast on a bogus $REPRO_BACKEND
+        except BackendError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     return args.func(args)
 
 

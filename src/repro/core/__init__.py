@@ -4,6 +4,9 @@ This package implements Section 2 of the paper verbatim:
 
 * :mod:`~repro.core.matrix` -- reflexive boolean adjacency matrices and the
   product ``A ∘ B`` of Definition 2.1;
+* :mod:`~repro.core.backend` / :mod:`~repro.core.bitset` -- pluggable matrix
+  backends (``dense`` boolean matrices or word-packed ``bitset``), selected
+  via ``REPRO_BACKEND`` or :func:`~repro.core.backend.set_default_backend`;
 * :mod:`~repro.core.state` -- :class:`~repro.core.state.BroadcastState`, the
   evolving product graph ``G(t) = G_1 ∘ ... ∘ G_t``;
 * :mod:`~repro.core.broadcast` -- broadcast time ``t*`` (Definitions 2.2 and
@@ -14,6 +17,14 @@ This package implements Section 2 of the paper verbatim:
 * :mod:`~repro.core.theorem` -- executable checks of Theorem 3.1.
 """
 
+from repro.core.backend import (
+    MatrixBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.core.matrix import (
     bool_product,
     compose_with_tree,
@@ -43,6 +54,12 @@ from repro.core.bounds import (
 from repro.core.theorem import check_theorem_31, sandwich
 
 __all__ = [
+    "MatrixBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "set_default_backend",
+    "use_backend",
     "identity_matrix",
     "validate_adjacency",
     "is_reflexive",

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core import matrix as M
+from repro.core.backend import BackendLike
 from repro.core.bounds import trivial_upper_bound
 from repro.core.state import BroadcastState
 from repro.errors import AdversaryError, SimulationError
@@ -85,6 +86,7 @@ def run_sequence(
     n: Optional[int] = None,
     keep_history: bool = False,
     stop_at_broadcast: bool = True,
+    backend: BackendLike = None,
 ) -> BroadcastResult:
     """Run an explicit sequence of trees from the identity state.
 
@@ -100,6 +102,9 @@ def run_sequence(
         Stop at the first broadcaster (Definition 2.2).  When False the
         whole sequence is applied; ``t_star`` still reports the first
         completion round if one occurred.
+    backend:
+        Matrix backend name or instance (default: process-wide default,
+        see :mod:`repro.core.backend`).
 
     Returns
     -------
@@ -111,12 +116,12 @@ def run_sequence(
             raise SimulationError("cannot infer n from an empty sequence")
         n = trees[0].n
     validate_node_count(n)
-    state = BroadcastState.initial(n)
+    state = BroadcastState.initial(n, backend=backend)
     result_t: Optional[int] = None
     history: List[RoundSnapshot] = []
     played: List[RootedTree] = []
     for i, tree in enumerate(trees, start=1):
-        before_edges = state.edge_count()
+        before_edges = state.edge_count() if keep_history else 0
         state.apply_tree_inplace(tree)
         played.append(tree)
         if keep_history:
@@ -151,6 +156,7 @@ def run_adversary(
     max_rounds: Optional[int] = None,
     keep_history: bool = False,
     keep_trees: bool = False,
+    backend: BackendLike = None,
 ) -> BroadcastResult:
     """Drive an adversary until broadcast completes (or ``max_rounds``).
 
@@ -164,7 +170,7 @@ def run_adversary(
     cap = max_rounds if max_rounds is not None else trivial_upper_bound(n)
     explicit_cap = max_rounds is not None
     adversary.reset()
-    state = BroadcastState.initial(n)
+    state = BroadcastState.initial(n, backend=backend)
     history: List[RoundSnapshot] = []
     played: List[RootedTree] = []
     t = 0
@@ -194,7 +200,7 @@ def run_adversary(
             raise AdversaryError(
                 f"adversary returned a tree over {tree.n} nodes in a game over {n}"
             )
-        before_edges = state.edge_count()
+        before_edges = state.edge_count() if keep_history else 0
         state.apply_tree_inplace(tree)
         if keep_trees:
             played.append(tree)
@@ -220,16 +226,23 @@ def run_adversary(
     )
 
 
-def broadcast_time_sequence(trees: Sequence[RootedTree], n: Optional[int] = None) -> Optional[int]:
+def broadcast_time_sequence(
+    trees: Sequence[RootedTree],
+    n: Optional[int] = None,
+    backend: BackendLike = None,
+) -> Optional[int]:
     """``t*`` of an explicit sequence (Definition 2.2); ``None`` if unfinished."""
-    return run_sequence(trees, n=n).t_star
+    return run_sequence(trees, n=n, backend=backend).t_star
 
 
 def broadcast_time_adversary(
-    adversary: AdversaryProtocol, n: int, max_rounds: Optional[int] = None
+    adversary: AdversaryProtocol,
+    n: int,
+    max_rounds: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> Optional[int]:
     """``t*`` achieved by an adversary on ``n`` processes."""
-    return run_adversary(adversary, n, max_rounds=max_rounds).t_star
+    return run_adversary(adversary, n, max_rounds=max_rounds, backend=backend).t_star
 
 
 def first_broadcaster(trees: Sequence[RootedTree], n: Optional[int] = None) -> Optional[int]:

@@ -49,6 +49,20 @@ def validate_adjacency(a: np.ndarray, require_reflexive: bool = False) -> np.nda
     if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
         raise InvalidGraphError(f"adjacency matrix must be square 2-D, got {arr.shape}")
     if arr.dtype != np.bool_:
+        # Coercing e.g. a weight matrix through astype(bool) would silently
+        # turn every nonzero weight into an edge; only exact 0/1 is accepted.
+        try:
+            valid = (arr == 0) | (arr == 1)
+            all_valid = bool(np.all(valid))
+        except (TypeError, ValueError) as exc:
+            raise InvalidGraphError(
+                f"adjacency matrix of dtype {arr.dtype} is not boolean-comparable"
+            ) from exc
+        if not all_valid:
+            raise InvalidGraphError(
+                "adjacency matrix entries must all be 0 or 1 (or boolean); "
+                "refusing to coerce other values"
+            )
         arr = arr.astype(np.bool_)
     if require_reflexive and not bool(arr.diagonal().all()):
         raise InvalidGraphError(

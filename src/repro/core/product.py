@@ -12,6 +12,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core import matrix as M
+from repro.core.backend import BackendLike, get_backend
 from repro.errors import DimensionMismatchError
 from repro.trees.rooted_tree import RootedTree
 
@@ -34,23 +35,28 @@ def product_graph(graphs: Iterable[np.ndarray]) -> np.ndarray:
     return result
 
 
-def product_of_trees(trees: Sequence[RootedTree]) -> np.ndarray:
+def product_of_trees(
+    trees: Sequence[RootedTree], backend: BackendLike = None
+) -> np.ndarray:
     """Compose a sequence of round graphs (trees + self-loops).
 
-    Uses the O(n²)-per-round fast path.  ``product_of_trees([T1, ..., Tk])``
-    equals ``G(k)`` when the adversary plays exactly those trees.
+    Uses the selected backend's O(n²)-per-round (or word-parallel) fast
+    path; the result is always returned as a dense boolean matrix.
+    ``product_of_trees([T1, ..., Tk])`` equals ``G(k)`` when the adversary
+    plays exactly those trees.
     """
     if not trees:
         raise DimensionMismatchError("cannot take the product of zero trees")
+    bk = get_backend(backend)
     n = trees[0].n
-    reach = M.identity_matrix(n)
+    mat = bk.identity(n)
     for t in trees:
         if t.n != n:
             raise DimensionMismatchError(
                 f"tree over {t.n} nodes in a sequence over {n} nodes"
             )
-        M.compose_with_tree_inplace(reach, t)
-    return reach
+        bk.compose_with_tree_inplace(mat, t.parent_array_numpy())
+    return bk.to_dense(mat)
 
 
 def is_nonsplit(a: np.ndarray) -> bool:

@@ -15,7 +15,13 @@ recording/replay and per-round metrics collection.
 from repro.engine.simulator import HeardOfSimulator, Process
 from repro.engine.events import RoundRecord, TraceEvent
 from repro.engine.trace import Trace, TraceRecorder, replay_trace
-from repro.engine.runner import compare_engines, run_engine
+from repro.engine.batch import BatchRunner, run_sequences_batch, score_candidates
+from repro.engine.runner import (
+    compare_engines,
+    run_adversaries_batch,
+    run_engine,
+    run_multi_seed,
+)
 from repro.engine.metrics import MetricsCollector, RunMetrics
 from repro.engine.rng import derive_rng, spawn_seeds
 
@@ -27,7 +33,12 @@ __all__ = [
     "Trace",
     "TraceRecorder",
     "replay_trace",
+    "BatchRunner",
+    "run_sequences_batch",
+    "score_candidates",
     "run_engine",
+    "run_adversaries_batch",
+    "run_multi_seed",
     "compare_engines",
     "MetricsCollector",
     "RunMetrics",

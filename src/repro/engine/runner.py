@@ -8,16 +8,23 @@ a full :class:`~repro.engine.trace.Trace`, and collects
 :func:`compare_engines` executes one tree sequence through both the matrix
 engine and the process-level heard-of simulator and checks they agree --
 the executable form of "the two implementations define the same model".
+
+:func:`run_adversaries_batch` / :func:`run_multi_seed` drive MANY runs in
+lockstep through one :class:`~repro.engine.batch.BatchRunner`: each run's
+adversary picks its tree against a zero-copy view of its own slice, then
+all compositions and completion checks execute as one vectorized step.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.core.backend import BackendLike
 from repro.core.bounds import trivial_upper_bound
-from repro.core.broadcast import run_sequence
+from repro.core.broadcast import BroadcastResult, run_sequence
 from repro.core.state import BroadcastState
+from repro.engine.batch import BatchRunner
 from repro.engine.events import RoundRecord
 from repro.engine.metrics import MetricsCollector, RunMetrics
 from repro.engine.simulator import HeardOfSimulator
@@ -86,6 +93,97 @@ def run_engine(
         trace=recorder.finish(t_star),
         metrics=collector.finish(t_star),
         final_state=state,
+    )
+
+
+def run_adversaries_batch(
+    adversaries: Sequence[AdversaryProtocol],
+    n: int,
+    max_rounds: Optional[int] = None,
+    backend: BackendLike = None,
+) -> List[BroadcastResult]:
+    """Drive several adversaries over the same ``n``, batched per round.
+
+    Element-wise equivalent to
+    ``[run_adversary(adv, n) for adv in adversaries]``: each adversary
+    observes exactly the state its own moves produced (via a zero-copy
+    slice of the stacked tensor) and is never queried once its run has a
+    broadcaster.  Only the per-round composition and completion checks
+    are shared, as one vectorized step over all still-active runs.
+
+    The cap semantics mirror :func:`repro.core.broadcast.run_adversary`:
+    exceeding the trivial ``n²`` bound raises :class:`AdversaryError`
+    unless an explicit smaller ``max_rounds`` was given, in which case
+    unfinished runs report ``t_star=None``.
+    """
+    validate_node_count(n)
+    if not adversaries:
+        return []
+    cap = max_rounds if max_rounds is not None else trivial_upper_bound(n)
+    explicit_cap = max_rounds is not None
+    for adv in adversaries:
+        adv.reset()
+    runner = BatchRunner(n, len(adversaries), backend=backend)
+    while not runner.all_complete:
+        if runner.round_index >= cap:
+            if explicit_cap:
+                break
+            stuck = [
+                getattr(adv, "name", type(adv).__name__)
+                for b, adv in enumerate(adversaries)
+                if runner.t_star(b) is None
+            ]
+            raise AdversaryError(
+                f"adversaries {stuck!r} exceeded the trivial n² cap ({cap})"
+            )
+        t = runner.round_index + 1
+        trees = []
+        for b, adv in enumerate(adversaries):
+            if runner.t_star(b) is not None:
+                trees.append(None)
+                continue
+            tree = adv.next_tree(runner.state_view(b), t)
+            if not isinstance(tree, RootedTree):
+                raise AdversaryError(
+                    f"adversary returned {type(tree).__name__}, expected RootedTree"
+                )
+            if tree.n != n:
+                raise AdversaryError(
+                    f"adversary returned a tree over {tree.n} nodes in a game over {n}"
+                )
+            trees.append(tree)
+        runner.step(trees)
+    results = []
+    for b in range(len(adversaries)):
+        t = runner.t_star(b)
+        results.append(
+            BroadcastResult(
+                t_star=t,
+                n=n,
+                broadcasters=runner.broadcasters(b) if t is not None else (),
+                final_state=runner.state(b, round_index=t),
+            )
+        )
+    return results
+
+
+def run_multi_seed(
+    factory: Callable[[int], AdversaryProtocol],
+    n: int,
+    seeds: Sequence[int],
+    max_rounds: Optional[int] = None,
+    backend: BackendLike = None,
+) -> List[BroadcastResult]:
+    """Batched multi-seed sweep: one adversary instance per seed.
+
+    ``factory(seed)`` builds each run's adversary; all runs advance in
+    lockstep through a single :class:`~repro.engine.batch.BatchRunner`.
+    """
+    return run_adversaries_batch(
+        [factory(int(seed)) for seed in seeds],
+        n,
+        max_rounds=max_rounds,
+        backend=backend,
     )
 
 

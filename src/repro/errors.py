@@ -8,6 +8,8 @@ which subsystem rejected the input:
 * :class:`InvalidGraphError` -- a boolean adjacency matrix is malformed.
 * :class:`DimensionMismatchError` -- two objects over different node counts
   were combined.
+* :class:`BackendError` -- an unknown matrix backend was requested from the
+  backend registry (see :mod:`repro.core.backend`).
 * :class:`AdversaryError` -- an adversary produced an illegal move or was
   driven past its defined horizon.
 * :class:`SearchBudgetExceeded` -- an exact/beam search hit its configured
@@ -34,6 +36,10 @@ class InvalidGraphError(ReproError, ValueError):
 
 class DimensionMismatchError(ReproError, ValueError):
     """Objects defined over different numbers of nodes were combined."""
+
+
+class BackendError(ReproError, ValueError):
+    """An unknown or misused matrix backend was requested."""
 
 
 class AdversaryError(ReproError, RuntimeError):

@@ -282,9 +282,19 @@ class RootedTree:
             np.fill_diagonal(a, True)
         return a
 
+    @cached_property
+    def _parent_np(self) -> np.ndarray:
+        arr = np.asarray(self._parents, dtype=np.int64)
+        arr.setflags(write=False)
+        return arr
+
     def parent_array_numpy(self) -> np.ndarray:
-        """Parent array as an ``int64`` numpy vector (root points to itself)."""
-        return np.asarray(self._parents, dtype=np.int64)
+        """Parent array as an ``int64`` numpy vector (root points to itself).
+
+        The array is cached and read-only (the tree is immutable); copy it
+        if you need to mutate.
+        """
+        return self._parent_np
 
     def to_networkx(self):
         """Convert to a ``networkx.DiGraph`` with parent->child edges."""

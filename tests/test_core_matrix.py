@@ -33,6 +33,29 @@ class TestValidation:
         a = M.validate_adjacency(np.eye(3, dtype=int))
         assert a.dtype == np.bool_
 
+    def test_validate_coerces_float_zeros_and_ones(self):
+        a = M.validate_adjacency(np.eye(3, dtype=float))
+        assert a.dtype == np.bool_
+
+    def test_validate_rejects_values_outside_01(self):
+        # astype(bool) would silently turn a weight of 2 into an edge.
+        a = np.eye(3, dtype=int)
+        a[0, 1] = 2
+        with pytest.raises(InvalidGraphError, match="0 or 1"):
+            M.validate_adjacency(a)
+
+    def test_validate_rejects_fractional_floats(self):
+        a = np.eye(3, dtype=float)
+        a[1, 2] = 0.5
+        with pytest.raises(InvalidGraphError, match="0 or 1"):
+            M.validate_adjacency(a)
+
+    def test_validate_rejects_negative_entries(self):
+        a = np.eye(3, dtype=int)
+        a[2, 0] = -1
+        with pytest.raises(InvalidGraphError, match="0 or 1"):
+            M.validate_adjacency(a)
+
 
 class TestBoolProduct:
     def test_matches_definition_2_1(self, rng):

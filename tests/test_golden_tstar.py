@@ -1,0 +1,74 @@
+"""Golden regression: exact t* of the paper's named constructions.
+
+``tests/fixtures/golden_tstar.json`` pins the broadcast times measured on
+the seed (dense) implementation for the static path (t* = n - 1,
+Section 2), the Zeiner-style two-phase heuristic, the cyclic chain-fan
+family (the Theorem 3.1 lower-bound witness, t* = ceil((3n-1)/2) - 2),
+and the cyclic nonsplit reduction of [9]/[1].  Both backends must
+reproduce every recorded value bit-for-bit; any drift is a correctness
+regression, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.adversaries.nonsplit import NonsplitAdversary, broadcast_time_nonsplit
+from repro.adversaries.paths import StaticPathAdversary
+from repro.adversaries.zeiner import CyclicFamilyAdversary, ZeinerStyleAdversary
+from repro.core.backend import use_backend
+from repro.core.broadcast import run_adversary
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_tstar.json"
+GOLDEN = json.loads(FIXTURE.read_text())
+
+BACKENDS = ["dense", "bitset"]
+NS = sorted(int(n) for n in GOLDEN["static_path"])
+
+CONSTRUCTIONS = {
+    "static_path": lambda n, backend: run_adversary(
+        StaticPathAdversary(n), n, backend=backend
+    ).t_star,
+    "zeiner_style": lambda n, backend: run_adversary(
+        ZeinerStyleAdversary(n), n, backend=backend
+    ).t_star,
+    "cyclic_family": lambda n, backend: run_adversary(
+        CyclicFamilyAdversary(n), n, backend=backend
+    ).t_star,
+}
+
+
+def test_fixture_is_well_formed():
+    assert set(GOLDEN) == set(CONSTRUCTIONS) | {"nonsplit_cyclic"}
+    for name, values in GOLDEN.items():
+        assert sorted(int(n) for n in values) == NS, name
+
+
+def test_fixture_matches_paper_formulas():
+    """The recorded values themselves satisfy the paper's closed forms."""
+    for n in NS:
+        assert GOLDEN["static_path"][str(n)] == n - 1
+        assert GOLDEN["cyclic_family"][str(n)] == math.ceil((3 * n - 1) / 2) - 2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(CONSTRUCTIONS))
+def test_constructions_reproduce_golden(backend, name):
+    run = CONSTRUCTIONS[name]
+    for n in NS:
+        assert run(n, backend) == GOLDEN[name][str(n)], (name, n, backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_nonsplit_reduction_reproduces_golden(backend):
+    with use_backend(backend):
+        for n in NS:
+            t, state = broadcast_time_nonsplit(
+                NonsplitAdversary(n, mode="cyclic"), n
+            )
+            assert state.backend.name == backend
+            assert t == GOLDEN["nonsplit_cyclic"][str(n)], (n, backend)
