@@ -84,9 +84,14 @@ class CyclicFamilyAdversary(Adversary):
     equals the Theorem 3.1 lower-bound formula on every size we have
     checked (see EXPERIMENTS.md, E2/E3).
 
-    Cost per round is ``O(n²/m_stride)`` candidate evaluations of ``O(n²)``
-    each; ``m_stride`` defaults to 1 below 33 nodes and scales up beyond
-    to keep rounds affordable.
+    The whole ``O(n²/m_stride)``-candidate pool is scored per round in
+    blocked batched compositions
+    (:func:`repro.engine.batch.score_parents_quadratic`), the same kernel
+    path greedy/beam use -- decision-equal to the historical per-candidate
+    dense loop (ties break to the earliest candidate in pool order), but
+    one vectorized backend call per block instead of one composition per
+    candidate.  ``m_stride`` defaults to 1 below 33 nodes and scales up
+    beyond to keep rounds affordable.
     """
 
     def __init__(self, n: int, m_stride: Optional[int] = None) -> None:
@@ -98,26 +103,27 @@ class CyclicFamilyAdversary(Adversary):
         if m_stride < 1:
             raise AdversaryError(f"m_stride must be >= 1, got {m_stride}")
         self._m_stride = m_stride
-        self._cands: Optional[List[np.ndarray]] = None
+        self._cands: Optional[np.ndarray] = None
         self.name = f"CyclicFamily[stride={m_stride}]"
         super().__init__()
 
-    def _candidate_parent_arrays(self) -> List[np.ndarray]:
-        """All candidate moves as parent arrays (deduplicated, cached).
+    def _candidate_parent_matrix(self) -> np.ndarray:
+        """All candidate moves as one stacked ``(C, n)`` parent matrix.
 
-        The family is state-independent, so it is built once per instance.
+        Deduplicated in generation order and cached: the family is
+        state-independent, so it is built once per instance.
         """
         if self._cands is not None:
             return self._cands
         n = self._n
         seen = set()
-        out: List[np.ndarray] = []
+        out: List[List[int]] = []
 
         def add(parents: List[int]) -> None:
             key = tuple(parents)
             if key not in seen:
                 seen.add(key)
-                out.append(np.asarray(parents, dtype=np.int64))
+                out.append(list(parents))
 
         for s in range(n):
             for backward in (False, True):
@@ -136,23 +142,22 @@ class CyclicFamilyAdversary(Adversary):
                         for a, b in zip(chain, chain[1:]):
                             parents[b] = a
                         add(parents)
-        self._cands = out
-        return out
+        self._cands = np.asarray(out, dtype=np.int64)
+        return self._cands
 
     def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
+        from repro.engine.batch import score_parents_quadratic
+
         if state.n != self._n:
             raise AdversaryError(
                 f"adversary built for n={self._n}, driven with n={state.n}"
             )
-        reach = state.reach_matrix_view()
-        best: Optional[np.ndarray] = None
-        best_score: Optional[Tuple[int, int, int]] = None
-        for parent in self._candidate_parent_arrays():
-            s = quadratic_potential_score(reach, parent, self._n)
-            if best_score is None or s < best_score:
-                best, best_score = parent, s
-        assert best is not None
-        return RootedTree([int(p) for p in best])
+        candidates = self._candidate_parent_matrix()
+        scores = score_parents_quadratic(state, candidates)
+        # min() keeps the first of tied minima, matching the historical
+        # per-candidate loop's strict-improvement tie-breaking.
+        best_i = min(range(len(scores)), key=scores.__getitem__)
+        return RootedTree([int(p) for p in candidates[best_i]])
 
 
 class ZeinerStyleAdversary(Adversary):

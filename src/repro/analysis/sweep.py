@@ -65,31 +65,54 @@ class SweepResult:
         return best
 
 
+def make_sweep_point(adversary: str, n: int, t_star: Optional[int]) -> Optional[SweepPoint]:
+    """The canonical measurement record for one completed grid point.
+
+    Returns ``None`` for runs truncated by an explicit cap (``t_star``
+    ``None``) -- such points are dropped from sweep results.  Both the
+    sequential loop below and the sharded workers
+    (:mod:`repro.engine.shard`) build their points here, which is what
+    keeps the two paths bit-identical by construction.
+    """
+    if t_star is None:
+        return None
+    return SweepPoint(
+        adversary=adversary,
+        n=n,
+        t_star=t_star,
+        lower=lower_bound(n),
+        upper=upper_bound(n),
+    )
+
+
 def sweep_adversaries(
     adversary_factories: Dict[str, Callable[[int], AdversaryProtocol]],
     ns: Sequence[int],
     max_rounds: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> SweepResult:
     """Measure ``t*`` for every (factory, n) pair.
 
     ``adversary_factories`` maps a display name to ``n -> adversary``.
+    ``workers`` (``> 1``) shards the grid across a process pool via
+    :class:`repro.engine.shard.ShardedSweepRunner`; the result is
+    bit-identical to the sequential path (factories must then be
+    picklable).  ``None`` or ``1`` keeps the sequential loop below.
     """
+    if workers is not None and workers != 1:
+        from repro.engine.shard import ShardedSweepRunner
+
+        return ShardedSweepRunner(workers=workers).sweep_adversaries(
+            adversary_factories, ns, max_rounds=max_rounds
+        )
     result = SweepResult()
     for n in ns:
         for name, factory in adversary_factories.items():
             adv = factory(n)
             run = run_adversary(adv, n, max_rounds=max_rounds)
-            if run.t_star is None:
-                continue  # truncated by an explicit cap: skip the point
-            result.points.append(
-                SweepPoint(
-                    adversary=name,
-                    n=n,
-                    t_star=run.t_star,
-                    lower=lower_bound(n),
-                    upper=upper_bound(n),
-                )
-            )
+            point = make_sweep_point(name, n, run.t_star)
+            if point is not None:
+                result.points.append(point)
     return result
 
 
@@ -97,6 +120,7 @@ def sweep_n(
     factory: Callable[[int], AdversaryProtocol],
     ns: Sequence[int],
     name: str = "adversary",
+    workers: Optional[int] = None,
 ) -> SweepResult:
-    """Sweep one adversary family over ``n``."""
-    return sweep_adversaries({name: factory}, ns)
+    """Sweep one adversary family over ``n`` (optionally sharded)."""
+    return sweep_adversaries({name: factory}, ns, workers=workers)

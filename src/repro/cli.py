@@ -19,6 +19,7 @@ Examples
     repro-broadcast figure1 --ns 8 16 32 64
     repro-broadcast simulate -n 12 --adversary cyclic --trace out.json
     repro-broadcast sweep --ns 6 8 10 12
+    repro-broadcast sweep --ns 16 24 32 --workers 4
     repro-broadcast exact -n 4
 """
 
@@ -127,24 +128,32 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Portfolio sweep over a range of ``n``."""
-    from repro.adversaries.zeiner import best_known_adversary
+    """Portfolio sweep over a range of ``n`` (optionally sharded)."""
     from repro.analysis.tables import format_table
-    from repro.core.bounds import lower_bound, upper_bound
+    from repro.engine.shard import ShardedSweepRunner, default_sweep_factories
 
+    factories = default_sweep_factories(include_search=not args.fast)
+    runner = ShardedSweepRunner(workers=args.workers)
+    result = runner.sweep_adversaries(factories, args.ns)
+    best = result.best_per_n()
     rows = []
     for n in args.ns:
-        adv, result, _ = best_known_adversary(
-            n, include_search=not args.fast
+        point = best.get(n)
+        if point is None:  # pragma: no cover - portfolio always completes
+            continue
+        # Re-instantiate the winner so the table shows its self-reported
+        # name (e.g. "CyclicFamily[stride=2]"), not just the factory key.
+        display = getattr(
+            factories[point.adversary](n), "name", point.adversary
         )
         rows.append(
             (
                 n,
-                lower_bound(n),
-                result.t_star,
-                upper_bound(n),
-                f"{result.t_star / n:.3f}",
-                adv.name,
+                point.lower,
+                point.t_star,
+                point.upper,
+                f"{point.normalized:.3f}",
+                display,
             )
         )
     print(
@@ -154,6 +163,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title="Theorem 3.1 sandwich: measured vs formulas",
         )
     )
+    if args.workers != 1:
+        print(f"(sweep sharded over {runner.workers} worker processes)")
     return 0
 
 
@@ -274,6 +285,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ns", type=int, nargs="+", default=[6, 8, 10, 12])
     p.add_argument(
         "--fast", action="store_true", help="skip slow search adversaries"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard the sweep grid over this many worker processes "
+            "(results are bit-identical to --workers 1; default: 1)"
+        ),
     )
     p.set_defaults(func=cmd_sweep)
 

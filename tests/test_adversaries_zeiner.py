@@ -56,9 +56,10 @@ class TestCyclicFamily:
 
     def test_candidates_cached(self):
         adv = CyclicFamilyAdversary(6)
-        first = adv._candidate_parent_arrays()
-        second = adv._candidate_parent_arrays()
+        first = adv._candidate_parent_matrix()
+        second = adv._candidate_parent_matrix()
         assert first is second
+        assert first.ndim == 2 and first.shape[1] == 6
 
 
 class TestQuadraticScore:

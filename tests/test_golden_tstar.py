@@ -7,6 +7,13 @@ family (the Theorem 3.1 lower-bound witness, t* = ceil((3n-1)/2) - 2),
 and the cyclic nonsplit reduction of [9]/[1].  Both backends must
 reproduce every recorded value bit-for-bit; any drift is a correctness
 regression, not noise.
+
+The n = 20 and n = 24 entries were recorded with the historical
+per-candidate cyclic scorer and are now reproduced by the batched pool
+scorer (:func:`repro.engine.batch.score_parents_quadratic`);
+:class:`TestBatchedCyclicScorerDecisions` additionally pins *decision*
+equality -- same chosen tree each round, not just the same t* -- against
+a per-candidate reference loop.
 """
 
 from __future__ import annotations
@@ -15,13 +22,21 @@ import json
 import math
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.adversaries.nonsplit import NonsplitAdversary, broadcast_time_nonsplit
 from repro.adversaries.paths import StaticPathAdversary
-from repro.adversaries.zeiner import CyclicFamilyAdversary, ZeinerStyleAdversary
+from repro.adversaries.zeiner import (
+    CyclicFamilyAdversary,
+    ZeinerStyleAdversary,
+    quadratic_potential_score,
+)
 from repro.core.backend import use_backend
 from repro.core.broadcast import run_adversary
+from repro.core.state import BroadcastState
+from repro.trees.generators import random_tree
+from repro.trees.rooted_tree import RootedTree
 
 FIXTURE = Path(__file__).parent / "fixtures" / "golden_tstar.json"
 GOLDEN = json.loads(FIXTURE.read_text())
@@ -72,3 +87,68 @@ def test_nonsplit_reduction_reproduces_golden(backend):
             )
             assert state.backend.name == backend
             assert t == GOLDEN["nonsplit_cyclic"][str(n)], (n, backend)
+
+
+def _reference_next_tree(adv: CyclicFamilyAdversary, state: BroadcastState):
+    """The historical per-candidate scoring loop, kept as the oracle."""
+    reach = state.reach_matrix_view()
+    best, best_score = None, None
+    for parent in adv._candidate_parent_matrix():
+        s = quadratic_potential_score(reach, parent, state.n)
+        if best_score is None or s < best_score:
+            best, best_score = parent, s
+    return RootedTree([int(p) for p in best])
+
+
+class TestBatchedCyclicScorerDecisions:
+    """Batched pool scoring picks the SAME tree as the per-candidate loop."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n", [4, 7, 12, 17])
+    def test_decision_equality_on_random_states(self, backend, n):
+        rng = np.random.default_rng(n * 1009)
+        with use_backend(backend):
+            adv = CyclicFamilyAdversary(n)
+            for trial in range(8):
+                state = BroadcastState.initial(n)
+                for _ in range(int(rng.integers(0, 2 * n))):
+                    nxt = state.apply_tree(random_tree(n, rng))
+                    if nxt.is_broadcast_complete():
+                        break
+                    state = nxt
+                chosen = adv.next_tree(state, 1)
+                oracle = _reference_next_tree(adv, state)
+                assert chosen.parents == oracle.parents, (backend, n, trial)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_full_run_decision_trace(self, backend):
+        """Round-by-round: both scorers drive the identical trajectory."""
+        n = 10
+        with use_backend(backend):
+            adv = CyclicFamilyAdversary(n)
+            state = BroadcastState.initial(n)
+            rounds = 0
+            while not state.is_broadcast_complete():
+                rounds += 1
+                tree = adv.next_tree(state, rounds)
+                assert tree.parents == _reference_next_tree(adv, state).parents
+                state.apply_tree_inplace(tree)
+            assert rounds == GOLDEN["cyclic_family"][str(n)]
+
+    def test_stride_subsampling_keeps_decisions(self):
+        """Strided pools (the large-n config) keep their decisions too.
+
+        Subsampled pools are a legitimately weaker adversary (t* below
+        the formula), so the pinned property is decision equality with
+        the per-candidate oracle over a full run, not the formula value.
+        """
+        n, stride = 16, 3
+        adv = CyclicFamilyAdversary(n, m_stride=stride)
+        state = BroadcastState.initial(n)
+        while not state.is_broadcast_complete():
+            tree = adv.next_tree(state, state.round_index + 1)
+            assert tree.parents == _reference_next_tree(adv, state).parents
+            state.apply_tree_inplace(tree)
+        assert state.round_index == run_adversary(
+            CyclicFamilyAdversary(n, m_stride=stride), n
+        ).t_star
