@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.state import BroadcastState
 from repro.errors import AdversaryError
 from repro.trees.rooted_tree import RootedTree
@@ -22,6 +24,16 @@ class Adversary:
     Subclasses override :meth:`next_tree`; :meth:`reset` clears per-run
     state and defaults to a no-op.  The class also provides ``name`` for
     reports (defaults to the class name).
+
+    Two optional hot-loop hooks let the executors
+    (:mod:`repro.engine.executor`) skip per-round ``RootedTree``
+    construction:
+
+    * :meth:`next_parents` -- the parent row the adversary would play next
+      (defaults to routing through :meth:`next_tree`);
+    * :meth:`compile_schedule` -- for *oblivious* strategies only: the
+      whole run as one packed ``(rounds, n)`` parent array, so engines
+      drive the backend kernels directly.
     """
 
     #: Human-readable label used by sweeps and benchmark tables.
@@ -34,6 +46,34 @@ class Adversary:
     def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
         """Return the tree to play at 1-based round ``round_index``."""
         raise NotImplementedError
+
+    def next_parents(self, state: BroadcastState, round_index: int) -> np.ndarray:
+        """Parent row (``(n,)`` int64, root points to itself) for the round.
+
+        Executors call this *instead of* :meth:`next_tree` on
+        uninstrumented runs whenever a subclass genuinely overrides it --
+        the streaming analog of :meth:`compile_schedule` for adaptive
+        strategies that can emit parent rows without materializing a
+        validated tree.  Overrides must stay consistent with
+        :meth:`next_tree` (instrumented runs still use the tree path) and
+        must return a valid parent array; the engines only shape-check
+        it.  The default routes through :meth:`next_tree`.
+        """
+        return self.next_tree(state, round_index).parent_array_numpy()
+
+    def compile_schedule(self, n: int, rounds: int) -> Optional[np.ndarray]:
+        """Compile rounds ``1 .. rounds`` into one ``(rounds, n)`` array.
+
+        Only meaningful for oblivious adversaries whose move at round
+        ``t`` depends on nothing but ``t`` (``next_tree`` must ignore the
+        state *and* any mutable per-run internals): executors may play the
+        compiled rows without ever calling :meth:`next_tree`, and may fall
+        back to it mid-run when a longer horizon fails to compile.
+        Returns ``None`` (the default) when the strategy is adaptive or
+        the horizon cannot be compiled; the result must be bit-identical
+        to the rows :meth:`next_tree` would produce.
+        """
+        return None
 
     def reset(self) -> None:
         """Forget per-run state so the adversary can be reused."""
@@ -87,6 +127,20 @@ class SequenceAdversary(Adversary):
         raise AdversaryError(
             f"sequence of length {len(self._trees)} exhausted at round {round_index}"
         )
+
+    def compile_schedule(self, n: int, rounds: int) -> Optional[np.ndarray]:
+        """Packed schedule following the sequence and its ``after`` policy.
+
+        With ``after='error'`` a horizon past the end of the sequence is
+        not compilable (``None``): the executor then falls back to
+        :meth:`next_tree`, which raises at the offending round exactly as
+        the uncompiled path would.
+        """
+        from repro.trees.compile import sequence_schedule
+
+        if self._trees[0].n != n:
+            return None
+        return sequence_schedule(self._trees, rounds, after=self._after)
 
     def __len__(self) -> int:
         return len(self._trees)

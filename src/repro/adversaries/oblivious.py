@@ -40,6 +40,13 @@ class StaticTreeAdversary(Adversary):
     def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
         return self._tree
 
+    def compile_schedule(self, n: int, rounds: int) -> Optional[np.ndarray]:
+        from repro.trees.compile import static_schedule
+
+        if self._tree.n != n:
+            return None
+        return static_schedule(self._tree, rounds)
+
 
 class RoundRobinAdversary(Adversary):
     """Cycle through a fixed list of trees, round-robin."""
@@ -57,6 +64,13 @@ class RoundRobinAdversary(Adversary):
 
     def next_tree(self, state: BroadcastState, round_index: int) -> RootedTree:
         return self._trees[(round_index - 1) % len(self._trees)]
+
+    def compile_schedule(self, n: int, rounds: int) -> Optional[np.ndarray]:
+        from repro.trees.compile import cycle_schedule
+
+        if self._trees[0].n != n:
+            return None
+        return cycle_schedule(self._trees, rounds)
 
 
 class RandomTreeAdversary(Adversary):

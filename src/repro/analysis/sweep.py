@@ -6,12 +6,20 @@ same sweeps are available programmatically (and in the CLI).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.bounds import lower_bound, upper_bound
-from repro.core.broadcast import run_adversary
+from repro.errors import SweepFormatError
 from repro.types import AdversaryProtocol
+
+if TYPE_CHECKING:  # runtime import stays lazy (engine imports this module)
+    from repro.engine.executor import Executor
+
+#: Format version written into every serialized sweep result.
+SWEEP_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -64,6 +72,76 @@ class SweepResult:
                 best[p.n] = p
         return best
 
+    # ------------------------------------------------------------------
+    # Serialization (CLI ``sweep --out`` / cross-engine comparisons)
+    # ------------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the full grid to a JSON string.
+
+        The point order is preserved, so two sweeps of the same grid by
+        different executors serialize to byte-identical documents -- the
+        CI executor-equivalence job diffs these files directly.
+        """
+        doc = {
+            "format_version": SWEEP_FORMAT_VERSION,
+            "points": [
+                {
+                    "adversary": p.adversary,
+                    "n": p.n,
+                    "t_star": p.t_star,
+                    "lower": p.lower,
+                    "upper": p.upper,
+                }
+                for p in self.points
+            ],
+        }
+        return json.dumps(doc, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Parse a result previously produced by :meth:`to_json`.
+
+        Raises :class:`~repro.errors.SweepFormatError` on malformed input
+        (bad JSON, wrong version, missing point fields).
+        """
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepFormatError(f"sweep result is not valid JSON: {exc}") from exc
+        version = doc.get("format_version") if isinstance(doc, dict) else None
+        if version != SWEEP_FORMAT_VERSION:
+            raise SweepFormatError(
+                f"unsupported sweep format version {version!r} "
+                f"(expected {SWEEP_FORMAT_VERSION})"
+            )
+        if not isinstance(doc.get("points"), list):
+            raise SweepFormatError("sweep result is missing the 'points' list")
+        points = []
+        for i, raw in enumerate(doc["points"]):
+            try:
+                points.append(
+                    SweepPoint(
+                        adversary=str(raw["adversary"]),
+                        n=int(raw["n"]),
+                        t_star=int(raw["t_star"]),
+                        lower=int(raw["lower"]),
+                        upper=int(raw["upper"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise SweepFormatError(f"malformed sweep point {i}: {exc!r}") from exc
+        return cls(points=points)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the result to ``path`` as indented JSON."""
+        Path(path).write_text(self.to_json(indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepResult":
+        """Read a result previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text())
+
 
 def make_sweep_point(adversary: str, n: int, t_star: Optional[int]) -> Optional[SweepPoint]:
     """The canonical measurement record for one completed grid point.
@@ -90,30 +168,29 @@ def sweep_adversaries(
     ns: Sequence[int],
     max_rounds: Optional[int] = None,
     workers: Optional[int] = None,
+    executor: Union[str, "Executor", None] = None,
 ) -> SweepResult:
-    """Measure ``t*`` for every (factory, n) pair.
+    """Measure ``t*`` for every (factory, n) pair, ``n``-major.
 
     ``adversary_factories`` maps a display name to ``n -> adversary``.
-    ``workers`` (``> 1``) shards the grid across a process pool via
-    :class:`repro.engine.shard.ShardedSweepRunner`; the result is
-    bit-identical to the sequential path (factories must then be
-    picklable).  ``None`` or ``1`` keeps the sequential loop below.
-    """
-    if workers is not None and workers != 1:
-        from repro.engine.shard import ShardedSweepRunner
+    The grid runs on an executor from the unified execution layer
+    (:mod:`repro.engine.executor`); all executors are decision-equivalent,
+    so the result is identical whichever is chosen:
 
-        return ShardedSweepRunner(workers=workers).sweep_adversaries(
-            adversary_factories, ns, max_rounds=max_rounds
-        )
-    result = SweepResult()
-    for n in ns:
-        for name, factory in adversary_factories.items():
-            adv = factory(n)
-            run = run_adversary(adv, n, max_rounds=max_rounds)
-            point = make_sweep_point(name, n, run.t_star)
-            if point is not None:
-                result.points.append(point)
-    return result
+    * ``executor`` -- a name (``"sequential"``/``"batch"``/``"sharded"``)
+      or an :class:`~repro.engine.executor.Executor` instance;
+    * ``workers`` (``> 1``, when ``executor`` is unset) -- backwards
+      compatible shorthand for the sharded executor; factories must then
+      be picklable;
+    * neither -- the sequential executor.
+    """
+    from repro.engine.executor import get_executor
+
+    if executor is None:
+        executor = "sharded" if workers is not None and workers != 1 else "sequential"
+    return get_executor(executor, workers=workers).sweep(
+        adversary_factories, ns, max_rounds=max_rounds
+    )
 
 
 def sweep_n(
@@ -121,6 +198,9 @@ def sweep_n(
     ns: Sequence[int],
     name: str = "adversary",
     workers: Optional[int] = None,
+    executor: Union[str, "Executor", None] = None,
 ) -> SweepResult:
     """Sweep one adversary family over ``n`` (optionally sharded)."""
-    return sweep_adversaries({name: factory}, ns, workers=workers)
+    return sweep_adversaries(
+        {name: factory}, ns, workers=workers, executor=executor
+    )

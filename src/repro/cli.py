@@ -20,6 +20,8 @@ Examples
     repro-broadcast simulate -n 12 --adversary cyclic --trace out.json
     repro-broadcast sweep --ns 6 8 10 12
     repro-broadcast sweep --ns 16 24 32 --workers 4
+    repro-broadcast simulate -n 128 --adversary static-path --engine batch
+    repro-broadcast sweep --ns 8 10 --engine sequential --out sweep.json
     repro-broadcast exact -n 4
 """
 
@@ -55,6 +57,17 @@ def _adversary_factories() -> Dict[str, Callable[[int], object]]:
         "greedy": GreedyDelayAdversary,
         "random": lambda n: RandomTreeAdversary(n, seed=0),
     }
+
+
+def _warn_ignored_workers(args: argparse.Namespace) -> None:
+    """Tell the user when ``--workers`` has no effect on this engine."""
+    if args.workers != 1 and args.engine != "sharded":
+        print(
+            f"warning: --workers {args.workers} is ignored with "
+            f"--engine {args.engine} (only the sharded engine uses a "
+            "worker pool)",
+            file=sys.stderr,
+        )
 
 
 def cmd_bounds(args: argparse.Namespace) -> int:
@@ -106,7 +119,7 @@ def cmd_figure1(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one adversary, print the sandwich report, optionally trace."""
     from repro.core.theorem import sandwich
-    from repro.engine.runner import run_engine
+    from repro.engine.executor import RunSpec, get_executor
 
     factories = _adversary_factories()
     if args.adversary not in factories:
@@ -116,25 +129,47 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    adv = factories[args.adversary](args.n)
-    run = run_engine(adv, args.n)
-    assert run.t_star is not None
-    print(sandwich(args.n, run.t_star))
-    print(f"tree shapes played: {run.metrics.shape_histogram}")
+    _warn_ignored_workers(args)
+    executor = get_executor(args.engine, workers=args.workers)
+    # Full instrumentation on the sequential engine (and whenever a trace
+    # was requested -- instrumented specs fall back to sequential inside
+    # batch/sharded executors); the bare engines report t* only, riding
+    # the compiled fast path where the adversary supports it.
+    instrumentation = (
+        "trace" if args.trace or args.engine == "sequential" else "none"
+    )
+    report = executor.run(
+        RunSpec(
+            adversary=factories[args.adversary],
+            n=args.n,
+            instrumentation=instrumentation,
+        )
+    )
+    assert report.t_star is not None
+    print(sandwich(args.n, report.t_star))
+    if report.metrics is not None:
+        print(f"tree shapes played: {report.metrics.shape_histogram}")
+    else:
+        print(
+            f"engine: {executor.name}; compiled schedule: "
+            f"{'yes' if report.compiled else 'no'}"
+        )
     if args.trace:
-        run.trace.save(args.trace)
+        report.trace.save(args.trace)
         print(f"trace written to {args.trace}")
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Portfolio sweep over a range of ``n`` (optionally sharded)."""
+    """Portfolio sweep over a range of ``n`` (any engine, optionally sharded)."""
     from repro.analysis.tables import format_table
-    from repro.engine.shard import ShardedSweepRunner, default_sweep_factories
+    from repro.engine.executor import get_executor
+    from repro.engine.shard import default_sweep_factories
 
     factories = default_sweep_factories(include_search=not args.fast)
-    runner = ShardedSweepRunner(workers=args.workers)
-    result = runner.sweep_adversaries(factories, args.ns)
+    _warn_ignored_workers(args)
+    executor = get_executor(args.engine, workers=args.workers)
+    result = executor.sweep(factories, args.ns)
     best = result.best_per_n()
     rows = []
     for n in args.ns:
@@ -163,8 +198,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title="Theorem 3.1 sandwich: measured vs formulas",
         )
     )
-    if args.workers != 1:
-        print(f"(sweep sharded over {runner.workers} worker processes)")
+    if args.out:
+        result.save(args.out)
+        print(f"sweep results written to {args.out}")
+    if args.engine == "sharded" and args.workers != 1:
+        print(f"(sweep sharded over {executor.workers} worker processes)")
     return 0
 
 
@@ -279,12 +317,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--adversary", default="cyclic", help="adversary name (see docs)"
     )
     p.add_argument("--trace", default=None, help="write a JSON trace here")
+    p.add_argument(
+        "--engine",
+        choices=["sequential", "batch", "sharded"],
+        default="sequential",
+        help=(
+            "execution engine (all are decision-equivalent; 'sequential' "
+            "adds full trace/metrics instrumentation; default: sequential)"
+        ),
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --engine sharded (default: 1)",
+    )
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("sweep", help="portfolio sweep over n")
     p.add_argument("--ns", type=int, nargs="+", default=[6, 8, 10, 12])
     p.add_argument(
         "--fast", action="store_true", help="skip slow search adversaries"
+    )
+    p.add_argument(
+        "--engine",
+        choices=["sequential", "batch", "sharded"],
+        default="sharded",
+        help=(
+            "execution engine; results are identical across engines "
+            "(default: sharded, which runs inline at --workers 1)"
+        ),
     )
     p.add_argument(
         "--workers",
@@ -294,6 +356,11 @@ def build_parser() -> argparse.ArgumentParser:
             "shard the sweep grid over this many worker processes "
             "(results are bit-identical to --workers 1; default: 1)"
         ),
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="write the sweep grid as JSON here (SweepResult.to_json)",
     )
     p.set_defaults(func=cmd_sweep)
 

@@ -24,7 +24,7 @@ benchmark output prints them alongside the exact formulas.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.types import validate_node_count
 
@@ -63,6 +63,29 @@ def trivial_upper_bound(n: int) -> int:
     """
     validate_node_count(n)
     return n * n
+
+
+def resolve_round_cap(n: int, max_rounds: Optional[int] = None) -> Tuple[int, bool]:
+    """The one round-cap policy every run driver shares.
+
+    Returns ``(cap, explicit)``:
+
+    * no ``max_rounds`` -- the cap is the trivial ``n²`` bound and
+      ``explicit`` is False: any legal adversary must finish by then, so a
+      driver hitting this cap should *raise* (the adversary produced
+      illegal round graphs);
+    * explicit ``max_rounds`` -- the cap is exactly that and ``explicit``
+      is True: hitting it truncates the run quietly (``t_star=None``),
+      never raises.
+
+    Sourced from :class:`repro.engine.executor.RunSpec` by every executor,
+    and from here directly by the legacy drivers, so the sequential,
+    instrumented, batched, and sharded paths cannot drift apart.
+    """
+    if max_rounds is None:
+        return trivial_upper_bound(n), False
+    validate_node_count(n)
+    return int(max_rounds), True
 
 
 def static_path_time(n: int) -> int:

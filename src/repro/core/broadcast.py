@@ -16,15 +16,11 @@ broadcaster(s), and optional per-round history for analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.core import matrix as M
 from repro.core.backend import BackendLike
-from repro.core.bounds import trivial_upper_bound
 from repro.core.state import BroadcastState
-from repro.errors import AdversaryError, SimulationError
+from repro.errors import SimulationError
 from repro.trees.rooted_tree import RootedTree
 from repro.types import AdversaryProtocol, validate_node_count
 
@@ -160,70 +156,32 @@ def run_adversary(
 ) -> BroadcastResult:
     """Drive an adversary until broadcast completes (or ``max_rounds``).
 
-    The default round cap is the paper's trivial ``n²`` bound: any legal
-    adversary must finish by then, so hitting the cap indicates a bug (an
-    illegal adversary) and raises :class:`AdversaryError` -- unless the
-    caller supplied an explicit smaller ``max_rounds``, in which case a
-    truncated result (``t_star=None``) is returned.
+    A facade over the unified execution layer: builds a
+    :class:`~repro.engine.executor.RunSpec` and runs it through a
+    :class:`~repro.engine.executor.SequentialExecutor` (oblivious
+    adversaries take the compiled parent-schedule fast path when no
+    history/trees are requested).
+
+    The round-cap policy is the shared one
+    (:func:`repro.core.bounds.resolve_round_cap`): the default cap is the
+    paper's trivial ``n²`` bound -- any legal adversary must finish by
+    then, so hitting it indicates a bug (an illegal adversary) and raises
+    :class:`AdversaryError` -- while an explicit ``max_rounds`` truncates
+    quietly (``t_star=None``).
     """
-    validate_node_count(n)
-    cap = max_rounds if max_rounds is not None else trivial_upper_bound(n)
-    explicit_cap = max_rounds is not None
-    adversary.reset()
-    state = BroadcastState.initial(n, backend=backend)
-    history: List[RoundSnapshot] = []
-    played: List[RootedTree] = []
-    t = 0
-    while not state.is_broadcast_complete():
-        if t >= cap:
-            if explicit_cap:
-                return BroadcastResult(
-                    t_star=None,
-                    n=n,
-                    broadcasters=(),
-                    final_state=state,
-                    history=history,
-                    trees=played,
-                )
-            raise AdversaryError(
-                f"adversary did not allow broadcast within the trivial bound "
-                f"n² = {cap}; rooted trees guarantee termination, so the "
-                "adversary produced illegal round graphs"
-            )
-        t += 1
-        tree = adversary.next_tree(state, t)
-        if not isinstance(tree, RootedTree):
-            raise AdversaryError(
-                f"adversary returned {type(tree).__name__}, expected RootedTree"
-            )
-        if tree.n != n:
-            raise AdversaryError(
-                f"adversary returned a tree over {tree.n} nodes in a game over {n}"
-            )
-        before_edges = state.edge_count() if keep_history else 0
-        state.apply_tree_inplace(tree)
-        if keep_trees:
-            played.append(tree)
-        if keep_history:
-            sizes = state.reach_sizes()
-            history.append(
-                RoundSnapshot(
-                    round_index=t,
-                    tree=tree,
-                    new_edges=state.edge_count() - before_edges,
-                    max_reach=int(sizes.max()),
-                    min_reach=int(sizes.min()),
-                    broadcaster_count=len(state.broadcasters()),
-                )
-            )
-    return BroadcastResult(
-        t_star=t,
-        n=n,
-        broadcasters=state.broadcasters(),
-        final_state=state,
-        history=history,
-        trees=played,
+    from repro.engine.executor import RunSpec, SequentialExecutor
+
+    report = SequentialExecutor().run(
+        RunSpec(
+            adversary=adversary,
+            n=n,
+            max_rounds=max_rounds,
+            backend=backend,
+            instrumentation="history" if keep_history else "none",
+            keep_trees=keep_trees,
+        )
     )
+    return report.to_broadcast_result()
 
 
 def broadcast_time_sequence(

@@ -200,6 +200,27 @@ class BroadcastState:
         self._dense_cache = None
         return self
 
+    def apply_parents_inplace(self, parents: np.ndarray) -> "BroadcastState":
+        """Advance one round along a packed parent row (mutating).
+
+        The compiled-schedule fast path
+        (:mod:`repro.trees.compile` / :mod:`repro.engine.executor`): same
+        composition as :meth:`apply_tree_inplace` but without a
+        :class:`RootedTree` in the loop.  ``parents`` must be a valid
+        ``(n,)`` parent array (root pointing to itself); rows obtained
+        from :meth:`RootedTree.parent_array_numpy` or
+        :func:`repro.trees.compile.parent_row` always are.
+        """
+        parents = np.asarray(parents, dtype=np.int64)
+        if parents.shape != (self._n,):
+            raise DimensionMismatchError(
+                f"parent row must have shape ({self._n},), got {parents.shape}"
+            )
+        self._backend.compose_with_tree_inplace(self._mat, parents)
+        self._round += 1
+        self._dense_cache = None
+        return self
+
     def apply_graph(self, adjacency: np.ndarray) -> "BroadcastState":
         """Compose with an arbitrary reflexive round graph.
 

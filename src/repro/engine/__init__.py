@@ -16,6 +16,15 @@ from repro.engine.simulator import HeardOfSimulator, Process
 from repro.engine.events import RoundRecord, TraceEvent
 from repro.engine.trace import Trace, TraceRecorder, replay_trace
 from repro.engine.batch import BatchRunner, run_sequences_batch, score_candidates
+from repro.engine.executor import (
+    BatchExecutor,
+    Executor,
+    RunReport,
+    RunSpec,
+    SequentialExecutor,
+    ShardedExecutor,
+    get_executor,
+)
 from repro.engine.runner import (
     compare_engines,
     run_adversaries_batch,
@@ -37,6 +46,13 @@ __all__ = [
     "BatchRunner",
     "run_sequences_batch",
     "score_candidates",
+    "RunSpec",
+    "RunReport",
+    "Executor",
+    "SequentialExecutor",
+    "BatchExecutor",
+    "ShardedExecutor",
+    "get_executor",
     "run_engine",
     "run_adversaries_batch",
     "run_multi_seed",

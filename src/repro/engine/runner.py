@@ -21,15 +21,13 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.backend import BackendLike
-from repro.core.bounds import trivial_upper_bound
 from repro.core.broadcast import BroadcastResult, run_sequence
 from repro.core.state import BroadcastState
-from repro.engine.batch import BatchRunner
-from repro.engine.events import RoundRecord
-from repro.engine.metrics import MetricsCollector, RunMetrics
+from repro.engine.executor import BatchExecutor, RunSpec, SequentialExecutor
+from repro.engine.metrics import RunMetrics
 from repro.engine.simulator import HeardOfSimulator
-from repro.engine.trace import Trace, TraceRecorder
-from repro.errors import AdversaryError, SimulationError
+from repro.engine.trace import Trace
+from repro.errors import SimulationError
 from repro.trees.rooted_tree import RootedTree
 from repro.types import AdversaryProtocol, validate_node_count
 
@@ -49,50 +47,33 @@ def run_engine(
     n: int,
     max_rounds: Optional[int] = None,
     seed: Optional[int] = None,
+    backend: BackendLike = None,
 ) -> EngineRun:
     """Drive ``adversary`` with full instrumentation.
 
     Unlike the bare :func:`~repro.core.broadcast.run_adversary`, this
-    records a replayable trace and per-round metrics.  The default round
-    cap is the trivial ``n²`` bound; exceeding it raises
-    :class:`AdversaryError` (a legal adversary cannot survive that long).
+    records a replayable trace and per-round metrics -- it is the
+    ``instrumentation="trace"`` facade over
+    :class:`~repro.engine.executor.SequentialExecutor`.  The round-cap
+    policy is the shared one (:func:`repro.core.bounds.resolve_round_cap`):
+    trivial ``n²`` default that raises when exceeded, explicit
+    ``max_rounds`` that truncates quietly.
     """
-    validate_node_count(n)
-    cap = max_rounds if max_rounds is not None else trivial_upper_bound(n)
-    adversary.reset()
-    name = getattr(adversary, "name", type(adversary).__name__)
-    recorder = TraceRecorder(n, name, seed=seed)
-    collector = MetricsCollector(n)
-    state = BroadcastState.initial(n)
-    t = 0
-    while not state.is_broadcast_complete():
-        if t >= cap:
-            if max_rounds is not None:
-                break
-            raise AdversaryError(
-                f"adversary {name!r} exceeded the trivial n² cap ({cap})"
-            )
-        t += 1
-        tree = adversary.next_tree(state, t)
-        before_edges = state.edge_count()
-        state.apply_tree_inplace(tree)
-        sizes = state.reach_sizes()
-        record = RoundRecord(
-            round_index=t,
-            parents=tree.parents,
-            new_edges=state.edge_count() - before_edges,
-            max_reach=int(sizes.max()),
-            min_reach=int(sizes.min()),
-            broadcaster_count=len(state.broadcasters()),
+    report = SequentialExecutor().run(
+        RunSpec(
+            adversary=adversary,
+            n=n,
+            seed=seed,
+            max_rounds=max_rounds,
+            backend=backend,
+            instrumentation="trace",
         )
-        recorder.record_round(record)
-        collector.observe_round(record, tree)
-    t_star = t if state.is_broadcast_complete() else None
+    )
     return EngineRun(
-        t_star=t_star,
-        trace=recorder.finish(t_star),
-        metrics=collector.finish(t_star),
-        final_state=state,
+        t_star=report.t_star,
+        trace=report.trace,
+        metrics=report.metrics,
+        final_state=report.final_state,
     )
 
 
@@ -104,67 +85,28 @@ def run_adversaries_batch(
 ) -> List[BroadcastResult]:
     """Drive several adversaries over the same ``n``, batched per round.
 
-    Element-wise equivalent to
-    ``[run_adversary(adv, n) for adv in adversaries]``: each adversary
+    A facade over :class:`~repro.engine.executor.BatchExecutor`:
+    element-wise equivalent to
+    ``[run_adversary(adv, n) for adv in adversaries]`` -- each adversary
     observes exactly the state its own moves produced (via a zero-copy
     slice of the stacked tensor) and is never queried once its run has a
-    broadcaster.  Only the per-round composition and completion checks
-    are shared, as one vectorized step over all still-active runs.
+    broadcaster; only the per-round composition and completion checks are
+    shared, as one vectorized step over all still-active runs.  Oblivious
+    adversaries ride the compiled parent-schedule fast path.
 
-    The cap semantics mirror :func:`repro.core.broadcast.run_adversary`:
-    exceeding the trivial ``n²`` bound raises :class:`AdversaryError`
-    unless an explicit smaller ``max_rounds`` was given, in which case
-    unfinished runs report ``t_star=None``.
+    The cap semantics are the shared policy: exceeding the trivial ``n²``
+    bound raises :class:`AdversaryError` unless an explicit smaller
+    ``max_rounds`` was given, in which case unfinished runs report
+    ``t_star=None``.
     """
     validate_node_count(n)
     if not adversaries:
         return []
-    cap = max_rounds if max_rounds is not None else trivial_upper_bound(n)
-    explicit_cap = max_rounds is not None
-    for adv in adversaries:
-        adv.reset()
-    runner = BatchRunner(n, len(adversaries), backend=backend)
-    while not runner.all_complete:
-        if runner.round_index >= cap:
-            if explicit_cap:
-                break
-            stuck = [
-                getattr(adv, "name", type(adv).__name__)
-                for b, adv in enumerate(adversaries)
-                if runner.t_star(b) is None
-            ]
-            raise AdversaryError(
-                f"adversaries {stuck!r} exceeded the trivial n² cap ({cap})"
-            )
-        t = runner.round_index + 1
-        trees = []
-        for b, adv in enumerate(adversaries):
-            if runner.t_star(b) is not None:
-                trees.append(None)
-                continue
-            tree = adv.next_tree(runner.state_view(b), t)
-            if not isinstance(tree, RootedTree):
-                raise AdversaryError(
-                    f"adversary returned {type(tree).__name__}, expected RootedTree"
-                )
-            if tree.n != n:
-                raise AdversaryError(
-                    f"adversary returned a tree over {tree.n} nodes in a game over {n}"
-                )
-            trees.append(tree)
-        runner.step(trees)
-    results = []
-    for b in range(len(adversaries)):
-        t = runner.t_star(b)
-        results.append(
-            BroadcastResult(
-                t_star=t,
-                n=n,
-                broadcasters=runner.broadcasters(b) if t is not None else (),
-                final_state=runner.state(b, round_index=t),
-            )
-        )
-    return results
+    specs = [
+        RunSpec(adversary=adv, n=n, max_rounds=max_rounds, backend=backend)
+        for adv in adversaries
+    ]
+    return [report.to_broadcast_result() for report in BatchExecutor().run_many(specs)]
 
 
 def run_multi_seed(

@@ -77,12 +77,14 @@ class SweepTask:
     n: int
 
 
-def _split_shards(items: Sequence, shards: int) -> List[List]:
+def split_shards(items: Sequence, shards: int) -> List[List]:
     """Partition ``items`` into ``shards`` contiguous, balanced chunks.
 
     The first ``len(items) % shards`` chunks get one extra item
     (``np.array_split`` semantics); empty chunks are dropped.  Contiguity
     keeps same-``n`` grid points together so workers can batch them.
+    Shared by :class:`ShardedSweepRunner` and
+    :class:`repro.engine.executor.ShardedExecutor`.
     """
     items = list(items)
     shards = max(1, min(shards, len(items)))
@@ -94,6 +96,60 @@ def _split_shards(items: Sequence, shards: int) -> List[List]:
             out.append(items[start : start + size])
         start += size
     return out
+
+
+#: Backwards-compatible alias (pre-executor name).
+_split_shards = split_shards
+
+
+def resolve_pool_config(
+    workers: Optional[int], mp_context: str
+) -> Tuple[int, str]:
+    """Validate the worker-pool configuration both sharded engines share.
+
+    ``None`` workers defaults to :func:`usable_cpus` (affinity-aware);
+    the returned pair is what :class:`ShardedSweepRunner` and
+    :class:`repro.engine.executor.ShardedExecutor` store, so the two
+    engines cannot drift in what they accept.
+    """
+    if workers is None:
+        workers = usable_cpus()
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if mp_context not in MP_CONTEXTS:
+        raise SimulationError(
+            f"mp_context must be one of {MP_CONTEXTS}, got {mp_context!r}"
+        )
+    return int(workers), mp_context
+
+
+def pool_map(
+    worker: Callable, payloads: List[Tuple], workers: int, mp_context: str
+) -> List[List]:
+    """Run ``worker`` over shard payloads, pooled when it pays off.
+
+    Inline (no pool, no pickling requirement) when ``workers == 1`` or
+    there is at most one payload; otherwise every payload is
+    pickle-checked up front so a non-picklable factory fails with a
+    actionable message instead of a deep pool traceback.
+    """
+    if workers == 1 or len(payloads) <= 1:
+        return [worker(p) for p in payloads]
+    for payload in payloads:
+        try:
+            pickle.dumps(payload)
+        except Exception as exc:
+            raise SimulationError(
+                "shard payloads must be picklable for workers > 1 "
+                "(factories must be module-level callables, classes, or "
+                "functools.partial over them -- not lambdas/closures); "
+                f"pickling failed with: {exc}"
+            ) from exc
+    import multiprocessing as mp
+
+    ctx = mp.get_context(mp_context)
+    with ctx.Pool(processes=min(workers, len(payloads))) as pool:
+        return pool.map(worker, payloads)
 
 
 def _sweep_shard_worker(payload: Tuple) -> List[Tuple[int, Optional[SweepPoint]]]:
@@ -170,17 +226,8 @@ class ShardedSweepRunner:
         backend: BackendLike = None,
         mp_context: str = "spawn",
     ) -> None:
-        if workers is None:
-            workers = usable_cpus()
-        if workers < 1:
-            raise SimulationError(f"workers must be >= 1, got {workers}")
-        if mp_context not in MP_CONTEXTS:
-            raise SimulationError(
-                f"mp_context must be one of {MP_CONTEXTS}, got {mp_context!r}"
-            )
-        self._workers = int(workers)
+        self._workers, self._mp_context = resolve_pool_config(workers, mp_context)
         self._backend = backend
-        self._mp_context = mp_context
 
     @property
     def workers(self) -> int:
@@ -192,24 +239,8 @@ class ShardedSweepRunner:
         return get_backend(self._backend).name
 
     def _map_shards(self, worker: Callable, payloads: List[Tuple]) -> List[List]:
-        """Run ``worker`` over shard payloads, pooled when it pays off."""
-        if self._workers == 1 or len(payloads) <= 1:
-            return [worker(p) for p in payloads]
-        for payload in payloads:
-            try:
-                pickle.dumps(payload)
-            except Exception as exc:
-                raise SimulationError(
-                    "shard payloads must be picklable for workers > 1 "
-                    "(factories must be module-level callables, classes, or "
-                    "functools.partial over them -- not lambdas/closures); "
-                    f"pickling failed with: {exc}"
-                ) from exc
-        import multiprocessing as mp
-
-        ctx = mp.get_context(self._mp_context)
-        with ctx.Pool(processes=min(self._workers, len(payloads))) as pool:
-            return pool.map(worker, payloads)
+        """Run ``worker`` over shard payloads via the shared pool helper."""
+        return pool_map(worker, payloads, self._workers, self._mp_context)
 
     # ------------------------------------------------------------------
     # Sweep grids
@@ -345,5 +376,8 @@ __all__ = [
     "ShardedSweepRunner",
     "SweepTask",
     "default_sweep_factories",
+    "pool_map",
+    "resolve_pool_config",
+    "split_shards",
     "usable_cpus",
 ]

@@ -17,6 +17,7 @@ which subsystem rejected the input:
 * :class:`SimulationError` -- the round-based engine was misused (e.g. asked
   to step a finished simulation without permission).
 * :class:`TraceError` -- a recorded trace failed validation or replay.
+* :class:`SweepFormatError` -- a serialized sweep result failed validation.
 """
 
 from __future__ import annotations
@@ -66,3 +67,7 @@ class SimulationError(ReproError, RuntimeError):
 
 class TraceError(ReproError, ValueError):
     """A serialized trace is malformed or fails replay validation."""
+
+
+class SweepFormatError(ReproError, ValueError):
+    """A serialized sweep result is malformed (see ``SweepResult.from_json``)."""

@@ -15,6 +15,8 @@ This subpackage provides:
 * :mod:`~repro.trees.enumerate` -- exhaustive enumeration of all ``n^(n-1)``
   rooted labeled trees for small ``n`` (used by the exact game solver);
 * :mod:`~repro.trees.canonical` -- AHU canonical forms and isomorphism tests;
+* :mod:`~repro.trees.compile` -- memoized packed parent schedules for the
+  executors' compiled fast path;
 * :mod:`~repro.trees.subtree` -- complete-subtree closure machinery used by
   the stalling characterization (Lemma S in DESIGN.md).
 """
@@ -42,6 +44,14 @@ from repro.trees.enumerate import (
     random_tree_uniform,
 )
 from repro.trees.canonical import ahu_signature, are_isomorphic
+from repro.trees.compile import (
+    clear_compile_cache,
+    compile_cache_info,
+    cycle_schedule,
+    parent_row,
+    sequence_schedule,
+    static_schedule,
+)
 from repro.trees.subtree import (
     closure_under_children,
     is_union_of_subtrees,
@@ -75,6 +85,12 @@ __all__ = [
     "random_tree_uniform",
     "ahu_signature",
     "are_isomorphic",
+    "parent_row",
+    "static_schedule",
+    "cycle_schedule",
+    "sequence_schedule",
+    "compile_cache_info",
+    "clear_compile_cache",
     "closure_under_children",
     "is_union_of_subtrees",
     "stalled_nodes",

@@ -70,6 +70,25 @@ class TestSweepExactLemmas:
         out = capsys.readouterr().out
         assert "sandwich" in out.lower()
 
+    def test_sweep_engines_print_identical_tables(self, capsys):
+        tables = []
+        for engine in ("sequential", "batch", "sharded"):
+            assert main(["sweep", "--ns", "5", "6", "--fast", "--engine", engine]) == 0
+            tables.append(capsys.readouterr().out)
+        assert tables[0] == tables[1] == tables[2]
+
+    def test_simulate_batch_engine(self, capsys):
+        assert main(["simulate", "-n", "8", "--engine", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "t*=10" in out  # identical decision to the sequential engine
+        assert "engine: batch" in out
+
+    def test_workers_warning_on_non_sharded_engine(self, capsys):
+        assert main(
+            ["sweep", "--ns", "5", "--fast", "--engine", "batch", "--workers", "4"]
+        ) == 0
+        assert "--workers 4 is ignored" in capsys.readouterr().err
+
     def test_exact_small(self, capsys):
         assert main(["exact", "-n", "3"]) == 0
         out = capsys.readouterr().out
