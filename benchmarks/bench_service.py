@@ -1,0 +1,105 @@
+"""Simulation-service throughput: HTTP requests/sec, cold vs warm cache.
+
+End-to-end measurement through the real stack -- HTTP parsing, spec
+canonicalization + digesting, scheduler dispatch, executor run, JSON
+response -- for a batch of distinct specs submitted cold (every digest
+computed) and then warm (every digest answered from the content-addressed
+cache).
+
+The asserted bar: at n = 256 under the bitset backend, a warm-cache
+lookup must be >= 10x faster than recomputation.  The workload is the
+adaptive sorted-path family (no compiled-schedule shortcut: each round
+re-sorts by reach sizes and builds a fresh path), so "recompute" means
+real per-round work while "warm" is one digest lookup per request.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer
+
+#: Four distinct digests per n: the sorted-path parameter square.
+SPEC_PARAMS = [
+    {"ascending": True, "tie_break": "index"},
+    {"ascending": True, "tie_break": "column"},
+    {"ascending": False, "tie_break": "index"},
+    {"ascending": False, "tie_break": "column"},
+]
+
+
+def _specs(n: int):
+    return [
+        {"adversary": "sorted-path", "n": n, "params": params, "backend": "bitset"}
+        for params in SPEC_PARAMS
+    ]
+
+
+def _submit_all(client: ServiceClient, specs) -> float:
+    """Submit every spec, wait for all, return elapsed wall seconds."""
+    t0 = time.perf_counter()
+    job_ids = [client.submit_run(spec)["job_id"] for spec in specs]
+    for job_id in job_ids:
+        doc = client.wait(job_id, timeout=600)
+        assert doc["status"] == "done", doc["error"]
+    return time.perf_counter() - t0
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("n", [64, 256])
+def test_http_requests_per_second_cold_vs_warm(n, capsys):
+    """Cold vs warm requests/sec through the API; >= 10x bar at n = 256."""
+    with ServiceServer() as server:
+        client = ServiceClient.from_url(server.url)
+        specs = _specs(n)
+        t_cold = _submit_all(client, specs)
+        t_warm = min(_submit_all(client, specs) for _ in range(3))
+        metrics = client.metrics()
+    assert metrics["computations"] == len(specs)  # warm passes computed nothing
+    speedup = t_cold / max(t_warm, 1e-9)
+    rows = [
+        (
+            n,
+            len(specs),
+            f"{len(specs) / t_cold:.1f}",
+            f"{len(specs) / t_warm:.1f}",
+            f"{speedup:.1f}x",
+        )
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["n", "requests", "cold req/s", "warm req/s", "warm speedup"],
+                rows,
+                title=(
+                    "Service throughput: cold (compute) vs warm "
+                    "(content-addressed cache), bitset backend"
+                ),
+            )
+        )
+    if n >= 256:
+        assert speedup >= 10.0, (
+            f"warm-cache lookups only {speedup:.1f}x faster than recomputation "
+            f"at n={n} (bitset); expected >= 10x"
+        )
+
+
+@pytest.mark.parametrize("n", [64])
+def test_warm_submit_latency(benchmark, n):
+    """pytest-benchmark probe: one fully-warm submit+wait round trip."""
+    with ServiceServer() as server:
+        client = ServiceClient.from_url(server.url)
+        spec = {"adversary": "static-path", "n": n, "backend": "bitset"}
+        client.wait(client.submit_run(spec)["job_id"], timeout=60)
+
+        def warm_round_trip():
+            doc = client.submit_run(spec)
+            assert doc["status"] == "done" and doc["cached"]
+            return doc
+
+        benchmark(warm_round_trip)

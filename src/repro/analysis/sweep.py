@@ -169,6 +169,7 @@ def sweep_adversaries(
     max_rounds: Optional[int] = None,
     workers: Optional[int] = None,
     executor: Union[str, "Executor", None] = None,
+    cache: Optional[object] = None,
 ) -> SweepResult:
     """Measure ``t*`` for every (factory, n) pair, ``n``-major.
 
@@ -183,13 +184,19 @@ def sweep_adversaries(
       compatible shorthand for the sharded executor; factories must then
       be picklable;
     * neither -- the sequential executor.
+
+    ``cache`` (opt-in) is a cell-cache adapter, typically
+    :class:`repro.service.cache.SweepCellCache` over declarative
+    :class:`~repro.service.specs.SpecHandle` factories: already-measured
+    grid cells become O(1) lookups and only new cells compute, with the
+    merged result bit-identical to a cold sweep.
     """
     from repro.engine.executor import get_executor
 
     if executor is None:
         executor = "sharded" if workers is not None and workers != 1 else "sequential"
     return get_executor(executor, workers=workers).sweep(
-        adversary_factories, ns, max_rounds=max_rounds
+        adversary_factories, ns, max_rounds=max_rounds, cache=cache
     )
 
 

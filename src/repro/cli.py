@@ -9,6 +9,9 @@ Subcommands
 ``exact``     exhaustive game solve for small n
 ``lemmas``    spot-check the executable lemmas on random configurations
 ``experiment``run a registered experiment (E1..E8) and print its table
+``serve``     start the simulation service (HTTP/JSON API over the executors)
+``submit``    submit one declarative run spec to a running service
+``cache``     inspect or clear a persistent result cache (stats | clear)
 
 Examples
 --------
@@ -22,7 +25,12 @@ Examples
     repro-broadcast sweep --ns 16 24 32 --workers 4
     repro-broadcast simulate -n 128 --adversary static-path --engine batch
     repro-broadcast sweep --ns 8 10 --engine sequential --out sweep.json
+    repro-broadcast sweep --ns 8 10 12 --cache sweep-cache.jsonl
     repro-broadcast exact -n 4
+    repro-broadcast serve --port 8642 --cache results.jsonl
+    repro-broadcast submit --url http://127.0.0.1:8642 -n 64 \
+        --adversary rotating-path --param shift=2 --wait
+    repro-broadcast cache stats --path results.jsonl
 """
 
 from __future__ import annotations
@@ -166,10 +174,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.engine.executor import get_executor
     from repro.engine.shard import default_sweep_factories
 
-    factories = default_sweep_factories(include_search=not args.fast)
+    cache = None
+    if args.cache:
+        # Declarative handles mirror default_sweep_factories one-for-one;
+        # they are what makes each grid cell content-addressable.
+        from repro.service.cache import ResultCache, SweepCellCache
+        from repro.service.specs import portfolio_handles
+
+        factories = portfolio_handles(include_search=not args.fast)
+        cache = SweepCellCache(ResultCache(path=args.cache))
+    else:
+        factories = default_sweep_factories(include_search=not args.fast)
     _warn_ignored_workers(args)
     executor = get_executor(args.engine, workers=args.workers)
-    result = executor.sweep(factories, args.ns)
+    result = executor.sweep(factories, args.ns, cache=cache)
     best = result.best_per_n()
     rows = []
     for n in args.ns:
@@ -201,6 +219,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.out:
         result.save(args.out)
         print(f"sweep results written to {args.out}")
+    if cache is not None:
+        stats = cache.cache.stats()
+        print(
+            f"cell cache {args.cache}: {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['entries']} entries"
+        )
     if args.engine == "sharded" and args.workers != 1:
         print(f"(sweep sharded over {executor.workers} worker processes)")
     return 0
@@ -277,6 +301,117 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     table = spec.run()
     print(table.render())
     return 0 if table.checks_passed else 1
+
+
+def _parse_param_pairs(pairs: Optional[Sequence[str]]) -> Dict[str, object]:
+    """``key=value`` pairs -> params dict (values parsed as JSON literals)."""
+    import json
+
+    params: Dict[str, object] = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value  # bare strings need no quotes
+    return params
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the simulation service and block until interrupted."""
+    import signal
+
+    from repro.service.server import ServiceServer
+
+    try:
+        server = ServiceServer(
+            host=args.host,
+            port=args.port,
+            executor=args.engine,
+            cache_path=args.cache,
+            cache_capacity=args.cache_capacity,
+            scheduler_workers=args.jobs,
+        )
+    except OSError as exc:  # bind failure: port in use, bad host, ...
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro simulation service listening on {server.url}")
+    print(
+        "endpoints: POST /v1/runs, POST /v1/sweeps, GET /v1/runs/<id>, "
+        "GET /v1/specs, GET /healthz, GET /metrics, POST /v1/shutdown"
+    )
+    if args.cache:
+        print(f"result cache persisted to {args.cache}")
+    # SIGTERM (systemd, CI, `kill`) stops as gracefully as Ctrl-C; SIGINT
+    # keeps its KeyboardInterrupt default, which serve_forever handles.
+    signal.signal(signal.SIGTERM, lambda signum, frame: server.stop_async())
+    server.serve_forever()
+    print("service stopped")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one declarative run spec to a running service."""
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    spec: Dict[str, object] = {
+        "adversary": args.adversary,
+        "n": args.n,
+        "seed": args.seed,
+        "params": _parse_param_pairs(args.param),
+    }
+    if args.max_rounds is not None:
+        spec["max_rounds"] = args.max_rounds
+    if args.backend is not None:
+        spec["backend"] = args.backend
+    try:
+        client = ServiceClient.from_url(args.url)
+        doc = client.submit_run(spec)
+        print(
+            f"job {doc['job_id']}: status={doc['status']} "
+            f"cached={doc['cached']} digest={doc['digest'][:16]}..."
+        )
+        if not args.wait:
+            return 0
+        doc = client.wait(doc["job_id"], timeout=args.timeout)
+    except ServiceError as exc:  # unreachable server, rejected spec, timeout
+        print(str(exc), file=sys.stderr)
+        return 2
+    if doc["status"] == "failed":
+        print(f"job failed: {doc['error']}", file=sys.stderr)
+        return 1
+    result = doc["result"]
+    if result["t_star"] is None:
+        print(
+            f"{result['adversary_name']}: truncated by max_rounds after "
+            f"{result['rounds']} rounds (no broadcast at n = {result['n']})"
+        )
+        return 0
+    print(
+        f"{result['adversary_name']}: t* = {result['t_star']} at "
+        f"n = {result['n']} (t*/n = {result['t_star'] / result['n']:.3f}, "
+        f"executor = {result['executor']})"
+    )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (``stats``) or truncate (``clear``) a persistent cache."""
+    from repro.analysis.tables import format_table
+    from repro.service.cache import ResultCache
+
+    cache = ResultCache(path=args.path)
+    if args.action == "clear":
+        before = len(cache)
+        cache.clear()
+        print(f"cleared {before} entries from {args.path}")
+        return 0
+    rows = sorted(cache.stats().items())
+    print(format_table(["counter", "value"], rows, title=f"Cache {args.path}"))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -362,6 +497,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the sweep grid as JSON here (SweepResult.to_json)",
     )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help=(
+            "opt-in content-addressed cell cache (JSONL): rerunning an "
+            "enlarged grid only computes the new cells, bit-identical "
+            "to a cold sweep"
+        ),
+    )
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("exact", help="exhaustive game solve (small n)")
@@ -381,6 +526,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("id", help="experiment id, 'list', or 'all'")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "serve", help="start the simulation service (HTTP/JSON over the executors)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--engine",
+        choices=["sequential", "batch", "sharded"],
+        default="batch",
+        help="executor the scheduler dispatches on (default: batch)",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persist the result cache to this JSONL file",
+    )
+    p.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=4096,
+        help="in-memory LRU capacity (default: 4096 entries)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="scheduler worker threads (default: 1; batching is the lever)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one declarative run spec to a running service"
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument(
+        "--adversary",
+        default="cyclic",
+        help="registered spec name (see GET /v1/specs)",
+    )
+    p.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="adversary param (repeatable; values parsed as JSON literals)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-rounds", type=int, default=None)
+    p.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait deadline in seconds"
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear a persistent result cache"
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--path", required=True, help="JSONL cache file")
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

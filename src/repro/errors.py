@@ -18,6 +18,12 @@ which subsystem rejected the input:
   to step a finished simulation without permission).
 * :class:`TraceError` -- a recorded trace failed validation or replay.
 * :class:`SweepFormatError` -- a serialized sweep result failed validation.
+* :class:`SpecError` -- a declarative simulation spec failed validation
+  against the service registry (see :mod:`repro.service.specs`).
+* :class:`CacheError` -- a result-cache store or entry was malformed or
+  misused (see :mod:`repro.service.cache`).
+* :class:`ServiceError` -- the simulation service (scheduler / HTTP API /
+  client) was misused or returned a failure.
 """
 
 from __future__ import annotations
@@ -71,3 +77,15 @@ class TraceError(ReproError, ValueError):
 
 class SweepFormatError(ReproError, ValueError):
     """A serialized sweep result is malformed (see ``SweepResult.from_json``)."""
+
+
+class SpecError(ReproError, ValueError):
+    """A declarative simulation spec failed registry validation."""
+
+
+class CacheError(ReproError, ValueError):
+    """A result-cache entry or store is malformed or was misused."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The simulation service (scheduler/HTTP/client) failed or was misused."""

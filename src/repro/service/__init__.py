@@ -1,0 +1,69 @@
+"""Simulation-as-a-service: the serving layer over the executor stack.
+
+PR 3 left one seam for new front-ends -- :class:`~repro.engine.executor.RunSpec`
+in, :class:`~repro.engine.executor.RunReport` out via
+:func:`~repro.engine.executor.get_executor`.  This package is the first
+front-end that actually *serves* users instead of scripts:
+
+* :mod:`~repro.service.specs` -- declarative, JSON-serializable simulation
+  specs with a registry over the adversary portfolio and a canonical
+  content-addressed digest per spec;
+* :mod:`~repro.service.cache` -- a versioned result store keyed by spec
+  digest (in-memory LRU + optional append-only JSONL persistence), with a
+  :class:`~repro.service.cache.SweepCellCache` adapter that plugs into
+  ``Executor.sweep`` so enlarged grids only compute new cells;
+* :mod:`~repro.service.scheduler` -- a thread-based job queue with
+  queued/running/done/failed states, in-flight dedup of identical digests,
+  and batching of compatible queued specs into single executor dispatches;
+* :mod:`~repro.service.server` -- a stdlib ``ThreadingHTTPServer`` JSON API
+  (``POST /v1/runs``, ``GET /v1/runs/<id>``, ``POST /v1/sweeps``,
+  ``GET /healthz``, ``GET /metrics``);
+* :mod:`~repro.service.client` -- a thin ``http.client`` wrapper used by
+  tests, benchmarks, and the CLI ``submit`` subcommand.
+"""
+
+from repro.service.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    SweepCellCache,
+    report_from_doc,
+    report_to_doc,
+)
+from repro.service.client import ServiceClient
+from repro.service.scheduler import JOB_STATES, Job, JobScheduler
+from repro.service.server import ServiceServer
+from repro.service.specs import (
+    SPEC_VERSION,
+    SpecHandle,
+    adversary_names,
+    canonical_run_spec,
+    canonical_sweep_spec,
+    describe_registry,
+    portfolio_handles,
+    register_adversary,
+    spec_digest,
+    to_run_spec,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "JOB_STATES",
+    "SPEC_VERSION",
+    "Job",
+    "JobScheduler",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceServer",
+    "SpecHandle",
+    "SweepCellCache",
+    "adversary_names",
+    "canonical_run_spec",
+    "canonical_sweep_spec",
+    "describe_registry",
+    "portfolio_handles",
+    "register_adversary",
+    "report_from_doc",
+    "report_to_doc",
+    "spec_digest",
+    "to_run_spec",
+]

@@ -1,0 +1,349 @@
+"""Content-addressed result cache: LRU memory tier + JSONL persistence.
+
+:class:`ResultCache` maps spec digests (:func:`repro.service.specs.spec_digest`)
+to result documents.  Three result kinds share one store:
+
+* ``"run"`` -- a full :class:`~repro.engine.executor.RunReport`, serialized
+  by :func:`report_to_doc` (the final product-graph matrix is bit-packed,
+  so the round trip is exact: a cache hit deserializes to a report
+  byte-identical to a fresh recomputation);
+* ``"cell"`` -- one sweep grid cell's ``t*`` (tiny; what makes rerunning
+  an enlarged sweep grid O(1) per already-measured cell);
+* ``"sweep"`` -- a whole serialized :class:`~repro.analysis.sweep.SweepResult`.
+
+Layers
+------
+The in-memory tier is a bounded LRU (``capacity`` entries, recency updated
+on hit).  The optional persistent tier is an append-only JSONL file:
+every store appends one self-describing line, and opening a cache replays
+the file (later lines win).  Eviction only trims the memory tier -- the
+file keeps the full history, so a reopened cache sees everything.
+
+Versioning
+----------
+Every line records :data:`CACHE_FORMAT_VERSION`.  Entries written by a
+different version are *rejected at load* (counted in
+``stats()["stale_rejected"]``), never served -- and the spec digest itself
+embeds :data:`~repro.service.specs.SPEC_VERSION`, so results computed
+under older run semantics are unreachable even if the file version
+matches.
+
+All public methods are thread-safe (one re-entrant lock), as required by
+the scheduler's worker threads and the HTTP server's handler threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.state import BroadcastState
+from repro.errors import CacheError
+from repro.service.specs import spec_digest
+
+if TYPE_CHECKING:  # runtime imports stay lazy (executor imports are cyclic)
+    from repro.analysis.sweep import SweepResult
+    from repro.engine.executor import RunReport, RunSpec
+
+#: Bump when the entry layout (or any payload encoding) changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Result kinds a cache entry may carry.
+ENTRY_KINDS = ("run", "cell", "sweep")
+
+
+def report_to_doc(report: "RunReport") -> Dict[str, Any]:
+    """Serialize an uninstrumented :class:`RunReport` exactly.
+
+    Only cache-shaped reports qualify: history/trees/trace/metrics are
+    per-run instrumentation artifacts, inherently not content-addressable
+    by spec (two identical specs may be run at different instrumentation
+    levels), so carrying them would break the "cache hit == fresh
+    recomputation" guarantee.  The final state is stored as the bit-packed
+    dense matrix, which round-trips exactly on either backend.
+    """
+    if report.history or report.trees or report.trace is not None or report.metrics is not None:
+        raise CacheError(
+            "only uninstrumented RunReports are cacheable "
+            "(instrumentation='none', keep_trees=False)"
+        )
+    state = report.final_state
+    dense = state.reach_matrix  # dense bool copy, identical across backends
+    return {
+        "t_star": None if report.t_star is None else int(report.t_star),
+        "n": int(report.n),
+        "rounds": int(report.rounds),
+        "adversary_name": str(report.adversary_name),
+        "broadcasters": [int(b) for b in report.broadcasters],
+        "seed": None if report.seed is None else int(report.seed),
+        "compiled": bool(report.compiled),
+        "executor": str(report.executor),
+        "final_round": int(state.round_index),
+        "reach_bits": np.packbits(dense).tobytes().hex(),
+    }
+
+
+def report_from_doc(doc: Dict[str, Any], backend: Any = None) -> "RunReport":
+    """Rebuild the exact :class:`RunReport` serialized by :func:`report_to_doc`.
+
+    ``backend`` selects the storage backend for the reconstructed final
+    state (a cache hit should live in the same backend the spec asked
+    for); the matrix contents are backend-independent.
+    """
+    from repro.engine.executor import RunReport
+
+    try:
+        n = int(doc["n"])
+        bits = np.frombuffer(bytes.fromhex(doc["reach_bits"]), dtype=np.uint8)
+        dense = np.unpackbits(bits, count=n * n).reshape(n, n).astype(np.bool_)
+        state = BroadcastState(
+            n, dense, round_index=int(doc["final_round"]), backend=backend
+        )
+        return RunReport(
+            t_star=None if doc["t_star"] is None else int(doc["t_star"]),
+            n=n,
+            rounds=int(doc["rounds"]),
+            adversary_name=str(doc["adversary_name"]),
+            broadcasters=tuple(int(b) for b in doc["broadcasters"]),
+            final_state=state,
+            seed=None if doc["seed"] is None else int(doc["seed"]),
+            compiled=bool(doc["compiled"]),
+            executor=str(doc["executor"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError(f"malformed run-report document: {exc!r}") from exc
+
+
+class ResultCache:
+    """Digest-keyed result store: bounded LRU + optional JSONL persistence.
+
+    Parameters
+    ----------
+    path:
+        Append-only JSONL store; ``None`` keeps the cache memory-only.
+        An existing file is replayed on open (stale-version lines are
+        rejected and counted, later duplicates win).
+    capacity:
+        Maximum entries held in memory; least-recently-used entries are
+        evicted past it (the file, if any, is never trimmed by eviction).
+    """
+
+    def __init__(
+        self, path: Optional[Union[str, Path]] = None, capacity: int = 4096
+    ) -> None:
+        if capacity < 1:
+            raise CacheError(f"capacity must be >= 1, got {capacity}")
+        self._path = Path(path) if path is not None else None
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, Tuple[str, Dict[str, Any]]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+        self._evictions = 0
+        self._stale_rejected = 0
+        self._loaded = 0
+        if self._path is not None and self._path.exists():
+            self._replay()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _replay(self) -> None:
+        with self._path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise CacheError(
+                        f"{self._path}:{lineno}: cache line is not valid JSON: {exc}"
+                    ) from exc
+                if not isinstance(entry, dict):
+                    raise CacheError(f"{self._path}:{lineno}: cache line is not an object")
+                if entry.get("format_version") != CACHE_FORMAT_VERSION:
+                    # A stale-version entry must be rejected, never served.
+                    self._stale_rejected += 1
+                    continue
+                try:
+                    digest = str(entry["digest"])
+                    kind = str(entry["kind"])
+                    payload = entry["payload"]
+                except KeyError as exc:
+                    raise CacheError(
+                        f"{self._path}:{lineno}: cache line is missing {exc}"
+                    ) from exc
+                if kind not in ENTRY_KINDS:
+                    raise CacheError(f"{self._path}:{lineno}: unknown entry kind {kind!r}")
+                self._insert(digest, kind, payload)
+                self._loaded += 1
+
+    def _append_line(self, digest: str, kind: str, payload: Any) -> None:
+        entry = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "digest": digest,
+            "kind": kind,
+            "payload": payload,
+        }
+        with self._path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    # Core store/lookup
+    # ------------------------------------------------------------------
+
+    def _insert(self, digest: str, kind: str, payload: Any) -> None:
+        self._entries[digest] = (kind, payload)
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def store(self, digest: str, kind: str, payload: Any) -> None:
+        """Insert (or overwrite) one entry; persists when a path is set."""
+        if kind not in ENTRY_KINDS:
+            raise CacheError(f"kind must be one of {ENTRY_KINDS}, got {kind!r}")
+        with self._lock:
+            self._insert(digest, kind, payload)
+            self._stores += 1
+            if self._path is not None:
+                self._append_line(digest, kind, payload)
+
+    def lookup(self, digest: str, kind: Optional[str] = None) -> Optional[Any]:
+        """The stored payload for ``digest``, or ``None`` (counted) on miss.
+
+        ``kind`` (when given) must match the stored entry's kind; a
+        mismatch is a miss, not an error.  Callers that derive different
+        result kinds from the same spec must namespace their keys (see
+        :class:`SweepCellCache`) -- one digest holds one entry.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None or (kind is not None and entry[0] != kind):
+                self._misses += 1
+                return None
+            self._entries.move_to_end(digest)
+            self._hits += 1
+            return entry[1]
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry, truncating the persistent file if present."""
+        with self._lock:
+            self._entries.clear()
+            if self._path is not None and self._path.exists():
+                self._path.write_text("")
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (hits/misses/stores/evictions/stale/loaded/size)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "stores": self._stores,
+                "evictions": self._evictions,
+                "stale_rejected": self._stale_rejected,
+                "loaded_from_disk": self._loaded,
+            }
+
+    # ------------------------------------------------------------------
+    # Typed convenience wrappers
+    # ------------------------------------------------------------------
+
+    def store_report(self, digest: str, report: "RunReport") -> None:
+        """Cache a run report under its spec digest."""
+        self.store(digest, "run", report_to_doc(report))
+
+    def lookup_report(self, digest: str, backend: Any = None) -> Optional["RunReport"]:
+        """The cached :class:`RunReport` for a digest, or ``None``."""
+        doc = self.lookup(digest, kind="run")
+        if doc is None:
+            return None
+        return report_from_doc(doc, backend=backend)
+
+    def store_sweep(self, digest: str, result: "SweepResult") -> None:
+        """Cache a whole sweep result under its sweep-spec digest."""
+        self.store(digest, "sweep", json.loads(result.to_json()))
+
+    def lookup_sweep(self, digest: str) -> Optional["SweepResult"]:
+        """The cached :class:`SweepResult` for a digest, or ``None``."""
+        from repro.analysis.sweep import SweepResult
+
+        doc = self.lookup(digest, kind="sweep")
+        if doc is None:
+            return None
+        return SweepResult.from_json(json.dumps(doc))
+
+    def __repr__(self) -> str:
+        where = "memory" if self._path is None else str(self._path)
+        return f"ResultCache({where}, entries={len(self)})"
+
+
+class SweepCellCache:
+    """The duck-typed adapter ``Executor.sweep(..., cache=...)`` accepts.
+
+    The executor layer stays ignorant of digests: it only asks
+    ``key_for(run_spec)`` (``None`` = this cell is not addressable, compute
+    it), ``lookup(key)`` (``(hit, t_star)``), and ``store(key, t_star)``.
+    Cells are addressable when the spec's adversary factory is a
+    :class:`~repro.service.specs.SpecHandle` -- i.e. it carries the
+    declarative spec its digest is computed from.  Plain factories
+    (lambdas, classes) simply bypass the cache.
+
+    Cell keys are namespaced (``cell:<digest>``): a cell spec *is* a
+    canonical run spec, so an unqualified key would collide with the
+    full-report entry the scheduler stores for the same digest and the
+    two kinds would evict each other.
+    """
+
+    def __init__(self, cache: ResultCache) -> None:
+        self.cache = cache
+
+    def key_for(self, spec: "RunSpec") -> Optional[str]:
+        """The namespaced cell key for a run spec, or ``None``."""
+        cell_spec = getattr(spec.adversary, "cell_spec", None)
+        if cell_spec is None:
+            return None
+        return "cell:" + spec_digest(cell_spec(spec.n, spec.max_rounds, spec.backend))
+
+    def lookup(self, key: str) -> Tuple[bool, Optional[int]]:
+        """``(hit, t_star)`` -- ``t_star`` may legitimately be ``None``."""
+        doc = self.cache.lookup(key, kind="cell")
+        if doc is None:
+            return False, None
+        try:
+            t_star = doc["t_star"]
+        except (TypeError, KeyError) as exc:
+            raise CacheError(f"malformed sweep-cell document: {doc!r}") from exc
+        return True, (None if t_star is None else int(t_star))
+
+    def store(self, key: str, t_star: Optional[int]) -> None:
+        """Record one computed cell (``None`` = truncated by an explicit cap)."""
+        self.cache.store(key, "cell", {"t_star": None if t_star is None else int(t_star)})
+
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ENTRY_KINDS",
+    "ResultCache",
+    "SweepCellCache",
+    "report_from_doc",
+    "report_to_doc",
+]

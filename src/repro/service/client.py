@@ -1,0 +1,148 @@
+"""Thin stdlib client for the simulation service HTTP API.
+
+:class:`ServiceClient` wraps :mod:`http.client` (one connection per
+request -- the server is HTTP/1.1 but a service client must survive
+server restarts) and speaks the JSON envelopes of
+:mod:`repro.service.server`.  Used by the test suite, the benchmark
+harness, ``examples/service_demo.py``, and the CLI ``submit`` subcommand.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from urllib.parse import urlparse
+
+from repro.errors import ServiceError
+from repro.service.cache import report_from_doc
+
+if TYPE_CHECKING:  # runtime import stays lazy
+    from repro.engine.executor import RunReport
+
+
+class ServiceClient:
+    """JSON client for one service endpoint.
+
+    Construct from ``host``/``port`` or :meth:`from_url`.  All methods
+    raise :class:`~repro.errors.ServiceError` on transport failures and
+    non-2xx responses (the server's ``error`` field becomes the message).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 30.0) -> "ServiceClient":
+        """Build a client from ``http://host:port`` (the CLI ``--url`` form)."""
+        parsed = urlparse(url if "//" in url else f"//{url}", scheme="http")
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ServiceError(f"service URL must look like http://host:port, got {url!r}")
+        return cls(parsed.hostname, parsed.port or 80, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"service request {method} {path} to "
+                    f"{self.host}:{self.port} failed: {exc}"
+                ) from exc
+            try:
+                doc = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"service returned non-JSON body for {method} {path}: {exc}"
+                ) from exc
+            return response.status, doc
+        finally:
+            conn.close()
+
+    def _checked(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, doc = self._request(method, path, body)
+        if status >= 400:
+            raise ServiceError(
+                doc.get("error", f"{method} {path} returned HTTP {status}")
+            )
+        return doc
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics`` -- scheduler + cache counters."""
+        return self._checked("GET", "/metrics")
+
+    def specs(self) -> Dict[str, Any]:
+        """``GET /v1/specs`` -- the adversary registry description."""
+        return self._checked("GET", "/v1/specs")
+
+    def submit_run(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/runs`` -- returns the job envelope."""
+        return self._checked("POST", "/v1/runs", spec)
+
+    def submit_sweep(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/sweeps`` -- returns the job envelope."""
+        return self._checked("POST", "/v1/sweeps", spec)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/runs/<id>``."""
+        return self._checked("GET", f"/v1/runs/{job_id}")
+
+    def wait(
+        self, job_id: str, timeout: float = 60.0, poll: float = 0.02
+    ) -> Dict[str, Any]:
+        """Poll until the job is ``done``/``failed``; returns the final doc.
+
+        Raises :class:`ServiceError` when the deadline passes first; a
+        ``failed`` job is *returned* (its ``error`` field says why), not
+        raised, so callers can inspect partial batches.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["status"] in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {doc['status']!r} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def run_report(self, job_doc: Dict[str, Any]) -> "RunReport":
+        """Deserialize a ``done`` run job's result into a :class:`RunReport`."""
+        if job_doc.get("status") != "done" or job_doc.get("result") is None:
+            raise ServiceError(
+                f"job {job_doc.get('job_id')!r} has no result "
+                f"(status={job_doc.get('status')!r}, error={job_doc.get('error')!r})"
+            )
+        return report_from_doc(job_doc["result"], backend=job_doc["spec"].get("backend"))
+
+    def shutdown(self) -> Dict[str, Any]:
+        """``POST /v1/shutdown`` -- ask the server to stop gracefully."""
+        return self._checked("POST", "/v1/shutdown")
+
+
+__all__ = ["ServiceClient"]

@@ -1,0 +1,390 @@
+"""Thread-based job scheduler: queue, dedup, batch dispatch, failure isolation.
+
+:class:`JobScheduler` turns the executor stack into a long-lived service
+core.  Submissions are declarative specs (:mod:`repro.service.specs`);
+each becomes a :class:`Job` with the usual lifecycle
+``queued -> running -> done | failed``.
+
+Three properties make it a *service* rather than a loop:
+
+* **content-addressed dedup** -- a submit whose digest matches a cached
+  result completes instantly (``cached=True``); one matching an in-flight
+  job returns *that* job instead of enqueueing a duplicate.  Under any
+  number of concurrent submitters, each unique digest is computed exactly
+  once (the ``computations`` counter is the proof the HTTP ``/metrics``
+  endpoint exposes);
+* **batched dispatch** -- the worker drains every queued run job it can
+  see and groups the compatible ones (same ``n``/backend/round cap) into
+  a single :meth:`Executor.run_many` call, so a burst of submissions
+  rides the vectorized :class:`~repro.engine.executor.BatchExecutor`
+  kernels instead of running one-by-one;
+* **failure isolation** -- if a batched dispatch raises, the batch is
+  retried spec-by-spec on a sequential executor so exactly the offending
+  jobs fail (error message recorded on the job) while the rest of the
+  batch still completes.
+
+The scheduler owns worker *threads*, not processes: executor dispatch is
+numpy-heavy (releases the GIL) or process-sharded (the ``sharded``
+executor brings its own pool), so threads are the right concurrency
+currency at this layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.executor import Executor, SequentialExecutor, get_executor
+from repro.errors import ServiceError
+from repro.service.cache import ResultCache, SweepCellCache, report_to_doc
+from repro.service.specs import (
+    canonical_run_spec,
+    canonical_sweep_spec,
+    spec_digest,
+    sweep_handles,
+    to_run_spec,
+)
+
+#: The job lifecycle; ``done``/``failed`` are terminal.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted spec and its lifecycle state.
+
+    ``result`` holds the serialized outcome once ``done``: a run-report
+    document (:func:`repro.service.cache.report_to_doc`) for run jobs, a
+    serialized :class:`~repro.analysis.sweep.SweepResult` document for
+    sweep jobs.  ``cached=True`` marks jobs answered straight from the
+    result cache without computing anything.
+    """
+
+    job_id: str
+    kind: str  # "run" | "sweep"
+    digest: str
+    spec: Dict[str, Any]
+    status: str = "queued"
+    cached: bool = False
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = field(default=None, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """True in a terminal state (``done`` or ``failed``)."""
+        return self.status in ("done", "failed")
+
+    def to_doc(self, include_result: bool = True) -> Dict[str, Any]:
+        """JSON document the HTTP API serves for this job."""
+        doc = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "digest": self.digest,
+            "spec": self.spec,
+            "status": self.status,
+            "cached": self.cached,
+            "error": self.error,
+        }
+        if include_result:
+            doc["result"] = self.result
+        return doc
+
+
+class JobScheduler:
+    """Job queue + dedup + batching over one executor and one result cache.
+
+    Parameters
+    ----------
+    executor:
+        Executor name or instance used for dispatch (default ``"batch"``,
+        which groups compatible specs into lockstep tensors).
+    cache:
+        Shared :class:`~repro.service.cache.ResultCache`; a fresh
+        memory-only cache is created when omitted.
+    workers:
+        Worker *threads* draining the queue (default 1; batching, not
+        thread count, is the throughput lever).
+    max_batch:
+        Upper bound on jobs per dispatch group.
+    max_finished_jobs:
+        How many terminal (``done``/``failed``) job records to retain for
+        ``GET /v1/runs/<id>`` polling; the oldest are evicted past it, so
+        a long-lived server's memory stays bounded (results themselves
+        live on in the LRU/persistent cache).  An evicted id answers
+        "unknown job" -- clients are expected to poll promptly.
+    """
+
+    def __init__(
+        self,
+        executor: Any = "batch",
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        max_batch: int = 64,
+        max_finished_jobs: int = 4096,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ServiceError(f"max_batch must be >= 1, got {max_batch}")
+        if max_finished_jobs < 1:
+            raise ServiceError(
+                f"max_finished_jobs must be >= 1, got {max_finished_jobs}"
+            )
+        self._executor: Executor = get_executor(executor)
+        self._fallback = SequentialExecutor()
+        self.cache = cache if cache is not None else ResultCache()
+        self._cell_cache = SweepCellCache(self.cache)
+        self._max_batch = max_batch
+        self._workers = workers
+        self._cv = threading.Condition()
+        self._jobs: Dict[str, Job] = {}
+        self._queue: List[str] = []  # job_ids, FIFO
+        self._inflight: Dict[str, str] = {}  # digest -> job_id
+        self._finished: "deque[str]" = deque()  # terminal job_ids, oldest first
+        self._max_finished = max_finished_jobs
+        self._ids = itertools.count(1)
+        self._counters = {
+            "submitted": 0,
+            "dedup_inflight": 0,
+            "computations": 0,
+            "dispatches": 0,
+            "failures": 0,
+        }
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "JobScheduler":
+        """Spin up the worker threads (idempotent)."""
+        with self._cv:
+            if self._threads:
+                return self
+            self._stopping = False
+            for i in range(self._workers):
+                t = threading.Thread(
+                    target=self._worker_loop, name=f"repro-scheduler-{i}", daemon=True
+                )
+                t.start()
+                self._threads.append(t)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the workers; queued jobs stay queued (restartable)."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+            threads, self._threads = self._threads, []
+        for t in threads:
+            t.join(timeout=timeout)
+
+    def __enter__(self) -> "JobScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def _submit(self, kind: str, spec: Dict[str, Any], digest: str) -> Job:
+        with self._cv:
+            self._counters["submitted"] += 1
+            # In-flight dedup first: it must win over a cache probe so the
+            # dedup path never skews hit/miss counters.
+            existing = self._inflight.get(digest)
+            if existing is not None:
+                self._counters["dedup_inflight"] += 1
+                return self._jobs[existing]
+            job = Job(
+                job_id=f"job-{next(self._ids):06d}", kind=kind, digest=digest, spec=spec
+            )
+            cached = self.cache.lookup(digest, kind=kind)
+            if cached is not None:
+                job.status = "done"
+                job.cached = True
+                job.result = cached
+                self._jobs[job.job_id] = job
+                self._retire(job)
+                self._cv.notify_all()
+                return job
+            self._jobs[job.job_id] = job
+            self._inflight[digest] = job.job_id
+            self._queue.append(job.job_id)
+            self._cv.notify_all()
+            return job
+
+    def submit_run(self, raw_spec: Dict[str, Any]) -> Job:
+        """Submit one run spec; returns the (possibly pre-existing) job."""
+        spec = canonical_run_spec(raw_spec)
+        return self._submit("run", spec, spec_digest(spec))
+
+    def submit_sweep(self, raw_spec: Dict[str, Any]) -> Job:
+        """Submit one sweep spec; grid cells warm the shared cell cache."""
+        spec = canonical_sweep_spec(raw_spec)
+        return self._submit("sweep", spec, spec_digest(spec))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        """Look up a job by id; :class:`ServiceError` on unknown ids."""
+        with self._cv:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job id {job_id!r}") from None
+
+    def wait(self, job_id: str, timeout: Optional[float] = 30.0) -> Job:
+        """Block until the job reaches a terminal state (or time out)."""
+        job = self.job(job_id)
+        with self._cv:
+            if not self._cv.wait_for(lambda: job.finished, timeout=timeout):
+                raise ServiceError(
+                    f"job {job_id} still {job.status!r} after {timeout}s"
+                )
+        return job
+
+    def metrics(self) -> Dict[str, Any]:
+        """Counter snapshot: jobs by state, scheduler counters, cache stats."""
+        with self._cv:
+            by_state = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_state[job.status] += 1
+            return {
+                "jobs": by_state,
+                "queue_depth": len(self._queue),
+                "inflight": len(self._inflight),
+                **dict(self._counters),
+                "cache": self.cache.stats(),
+            }
+
+    # ------------------------------------------------------------------
+    # Worker
+    # ------------------------------------------------------------------
+
+    def _take_group(self) -> List[Job]:
+        """Under the lock: pop the next compatible dispatch group.
+
+        The head of the queue fixes the group shape: a sweep job runs
+        alone; a run job pulls every other queued run job that shares its
+        ``(n, backend, max_rounds)`` (up to ``max_batch``), which is
+        exactly the grouping :class:`~repro.engine.executor.BatchExecutor`
+        vectorizes.
+        """
+        head = self._jobs[self._queue.pop(0)]
+        head.status = "running"
+        if head.kind == "sweep":
+            return [head]
+        signature = (head.spec["n"], head.spec["backend"], head.spec["max_rounds"])
+        group = [head]
+        remaining: List[str] = []
+        for job_id in self._queue:
+            job = self._jobs[job_id]
+            if (
+                len(group) < self._max_batch
+                and job.kind == "run"
+                and (job.spec["n"], job.spec["backend"], job.spec["max_rounds"])
+                == signature
+            ):
+                job.status = "running"
+                group.append(job)
+            else:
+                remaining.append(job_id)
+        self._queue = remaining
+        return group
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                self._cv.wait_for(lambda: self._queue or self._stopping)
+                if self._stopping:
+                    return
+                group = self._take_group()
+            try:
+                if group[0].kind == "sweep":
+                    self._dispatch_sweep(group[0])
+                else:
+                    self._dispatch_runs(group)
+            except Exception as exc:  # a worker thread must never die
+                for job in group:
+                    if not job.finished:
+                        self._finish(job, None, f"{type(exc).__name__}: {exc}")
+
+    def _retire(self, job: Job) -> None:
+        """Under the lock: record a terminal job, evicting the oldest past
+        the retention bound (results stay reachable through the cache)."""
+        self._finished.append(job.job_id)
+        while len(self._finished) > self._max_finished:
+            self._jobs.pop(self._finished.popleft(), None)
+
+    def _finish(self, job: Job, result: Optional[Dict[str, Any]], error: Optional[str]) -> None:
+        """Publish a terminal state; cache success before releasing dedup."""
+        if error is None:
+            # Store before dropping the in-flight claim so a concurrent
+            # submit always sees either the claim or the cached result --
+            # never a gap where it would recompute.
+            self.cache.store(job.digest, job.kind, result)
+        with self._cv:
+            job.result = result
+            job.error = error
+            job.status = "done" if error is None else "failed"
+            if error is not None:
+                self._counters["failures"] += 1
+            self._inflight.pop(job.digest, None)
+            self._retire(job)
+            self._cv.notify_all()
+
+    def _dispatch_runs(self, group: List[Job]) -> None:
+        specs = [to_run_spec(job.spec) for job in group]
+        with self._cv:
+            self._counters["dispatches"] += 1
+        try:
+            reports = self._executor.run_many(specs)
+        except Exception:
+            # One bad adversary must not fail its batch neighbours: retry
+            # spec-by-spec so exactly the offending jobs record failures.
+            for job, spec in zip(group, specs):
+                try:
+                    report = self._fallback.run(spec)
+                except Exception as exc:
+                    self._finish(job, None, f"{type(exc).__name__}: {exc}")
+                else:
+                    with self._cv:
+                        self._counters["computations"] += 1
+                    self._finish(job, report_to_doc(report), None)
+            return
+        with self._cv:
+            self._counters["computations"] += len(group)
+        for job, report in zip(group, reports):
+            self._finish(job, report_to_doc(report), None)
+
+    def _dispatch_sweep(self, job: Job) -> None:
+        with self._cv:
+            self._counters["dispatches"] += 1
+        try:
+            handles = sweep_handles(job.spec)
+            result = self._executor.sweep(
+                handles,
+                job.spec["ns"],
+                max_rounds=job.spec["max_rounds"],
+                backend=job.spec["backend"],
+                cache=self._cell_cache,
+            )
+        except Exception as exc:
+            self._finish(job, None, f"{type(exc).__name__}: {exc}")
+            return
+        with self._cv:
+            self._counters["computations"] += 1
+        self._finish(job, json.loads(result.to_json()), None)
+
+
+__all__ = ["JOB_STATES", "Job", "JobScheduler"]

@@ -1,0 +1,233 @@
+"""Stdlib HTTP/JSON front-end over the job scheduler.
+
+:class:`ServiceServer` wraps a ``ThreadingHTTPServer`` (one handler
+thread per connection, stdlib only -- no framework dependency) around a
+:class:`~repro.service.scheduler.JobScheduler`.
+
+Endpoints
+---------
+=====================  ====================================================
+``GET /healthz``        liveness: ``{"status": "ok", "version": ...}``
+``GET /metrics``        scheduler + cache counters (JSON)
+``GET /v1/specs``       the adversary registry (names, params, defaults)
+``POST /v1/runs``       submit a run spec -> ``{"job_id", "status", ...}``
+``POST /v1/sweeps``     submit a sweep spec -> same job envelope
+``GET /v1/runs/<id>``   job state (+ serialized result when ``done``)
+``GET /v1/sweeps/<id>`` alias of ``GET /v1/runs/<id>``
+``POST /v1/shutdown``   acknowledge, then stop the server gracefully
+=====================  ====================================================
+
+Request bodies are bare spec documents (``{"adversary": ..., "n": ...}``);
+invalid specs come back as ``400 {"error": ...}``, unknown jobs as 404.
+Submissions are answered immediately (the job runs in the scheduler's
+worker threads); clients poll ``GET /v1/runs/<id>`` -- see
+:class:`repro.service.client.ServiceClient.wait`.
+
+Binding ``port=0`` picks an ephemeral port (tests and CI); the bound
+address is available as :attr:`ServiceServer.url` after construction.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro._version import __version__
+from repro.errors import ServiceError, SpecError
+from repro.service.cache import ResultCache
+from repro.service.scheduler import JobScheduler
+from repro.service.specs import describe_registry
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto ``self.server.scheduler``; JSON in, JSON out."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-service/{__version__}"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003 - stdlib hook
+        if getattr(self.server, "verbose", False):  # pragma: no cover - debug aid
+            super().log_message(fmt, *args)
+
+    def _send_json(self, code: int, doc: Dict[str, Any]) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise SpecError("request body must be a JSON object")
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise SpecError("request body must be a JSON object")
+        return doc
+
+    @property
+    def scheduler(self) -> JobScheduler:
+        return self.server.scheduler  # type: ignore[attr-defined]
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, {"status": "ok", "version": __version__})
+            return
+        if path == "/metrics":
+            self._send_json(200, self.scheduler.metrics())
+            return
+        if path == "/v1/specs":
+            self._send_json(200, {"adversaries": describe_registry()})
+            return
+        for prefix in ("/v1/runs/", "/v1/sweeps/"):
+            if path.startswith(prefix):
+                job_id = path[len(prefix):]
+                try:
+                    job = self.scheduler.job(job_id)
+                except ServiceError as exc:
+                    self._send_json(404, {"error": str(exc)})
+                    return
+                self._send_json(200, job.to_doc())
+                return
+        self._send_json(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/shutdown":
+            self._send_json(200, {"status": "shutting-down"})
+            self.server.owner.stop_async()  # type: ignore[attr-defined]
+            return
+        if path not in ("/v1/runs", "/v1/sweeps"):
+            self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
+        try:
+            spec = self._read_json()
+            if path == "/v1/runs":
+                job = self.scheduler.submit_run(spec)
+            else:
+                job = self.scheduler.submit_sweep(spec)
+        except SpecError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        self._send_json(202, job.to_doc(include_result=job.finished))
+
+
+class ServiceServer:
+    """The simulation service: scheduler + cache + threaded HTTP front-end.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port.
+    executor:
+        Executor name/instance the scheduler dispatches on (default
+        ``"batch"``).
+    cache:
+        A shared :class:`ResultCache`; built from ``cache_path`` /
+        ``cache_capacity`` when omitted.
+    cache_path:
+        JSONL persistence path for the built cache (ignored when a cache
+        instance is passed).
+    scheduler_workers:
+        Worker threads draining the job queue.
+
+    Use as a context manager (``with ServiceServer() as srv:``) or call
+    :meth:`start` / :meth:`stop` explicitly.  :meth:`serve_forever`
+    blocks the calling thread until :meth:`stop` or ``Ctrl-C`` (the CLI
+    ``serve`` path).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        executor: Any = "batch",
+        cache: Optional[ResultCache] = None,
+        cache_path: Optional[str] = None,
+        cache_capacity: int = 4096,
+        scheduler_workers: int = 1,
+    ) -> None:
+        if cache is None:
+            cache = ResultCache(path=cache_path, capacity=cache_capacity)
+        self.scheduler = JobScheduler(
+            executor=executor, cache=cache, workers=scheduler_workers
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.scheduler = self.scheduler  # type: ignore[attr-defined]
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved for ``port=0``)."""
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceServer":
+        """Start scheduler workers and the HTTP serving thread."""
+        self.scheduler.start()
+        if self._thread is None:
+            self._stopped.clear()
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain workers, close sockets."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.scheduler.stop()
+        self._stopped.set()
+
+    def stop_async(self) -> None:
+        """Trigger :meth:`stop` from a handler thread (``POST /v1/shutdown``)."""
+        threading.Thread(target=self.stop, name="repro-service-stop", daemon=True).start()
+
+    def serve_forever(self) -> None:
+        """Start and block until stopped (``Ctrl-C`` stops gracefully).
+
+        The wait polls so signal handlers installed by the caller (the
+        CLI ``serve`` maps ``SIGTERM`` to a graceful stop) run promptly.
+        """
+        self.start()
+        try:
+            while not self._stopped.wait(timeout=0.2):
+                pass
+        except KeyboardInterrupt:
+            self.stop()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+__all__ = ["ServiceServer"]

@@ -1,0 +1,247 @@
+"""Result cache: exact round-trips, LRU/persistence/versioning, cached sweeps.
+
+The acceptance property pinned here: **cached results are provably
+trustworthy** -- for every adversary in the portfolio, on both backends,
+a cache-hit ``RunReport`` serializes byte-identically to a fresh
+recomputation, and stale-version entries are rejected at load instead of
+served.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import sweep_adversaries
+from repro.core.backend import use_backend
+from repro.engine.executor import BatchExecutor, SequentialExecutor, ShardedExecutor
+from repro.errors import CacheError
+from repro.service.cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    SweepCellCache,
+    report_from_doc,
+    report_to_doc,
+)
+from repro.service.specs import portfolio_handles, spec_digest, to_run_spec
+
+#: Every portfolio family, with small-n-safe params.
+PORTFOLIO = [
+    ("static-path", {}),
+    ("alternating-path", {"period": 2}),
+    ("rotating-path", {"shift": 2}),
+    ("sorted-path", {"ascending": False}),
+    ("two-phase-flip", {}),
+    ("zeiner-style", {}),
+    ("runner", {}),
+    ("cyclic", {}),
+    ("random-tree", {}),
+    ("greedy", {}),
+    ("beam", {"depth": 1, "width": 3}),
+    ("k-leaf", {"k": 2}),
+    ("k-inner", {"k": 2}),
+]
+
+
+class TestReportRoundTrip:
+    @pytest.mark.parametrize("backend", ["dense", "bitset"])
+    def test_cache_hit_is_byte_identical_to_fresh_recomputation(self, backend, rng):
+        """The headline acceptance: portfolio x backends, randomized n/seed."""
+        executor = SequentialExecutor()
+        cache = ResultCache()
+        for adversary, params in PORTFOLIO:
+            n = int(rng.integers(5, 14))
+            seed = int(rng.integers(0, 100))
+            raw = {
+                "adversary": adversary,
+                "params": params,
+                "n": n,
+                "seed": seed,
+                "backend": backend,
+            }
+            digest = spec_digest(raw)
+            fresh = executor.run(to_run_spec(raw))
+            cache.store_report(digest, fresh)
+            hit = cache.lookup_report(digest, backend=backend)
+            assert hit is not None
+            # byte-identical: the canonical serializations match exactly
+            assert json.dumps(report_to_doc(hit), sort_keys=True) == json.dumps(
+                report_to_doc(fresh), sort_keys=True
+            ), f"{adversary}@{backend}: cache hit diverged from fresh run"
+            # and against a *second* fresh recomputation (determinism)
+            again = executor.run(to_run_spec(raw))
+            assert json.dumps(report_to_doc(hit), sort_keys=True) == json.dumps(
+                report_to_doc(again), sort_keys=True
+            )
+            assert hit.final_state == fresh.final_state
+            assert hit.broadcasters == fresh.broadcasters
+            assert hit.t_star == fresh.t_star
+
+    def test_instrumented_reports_are_not_cacheable(self):
+        from repro.engine.executor import RunSpec
+
+        report = SequentialExecutor().run(
+            RunSpec(
+                adversary=to_run_spec({"adversary": "runner", "n": 6}).adversary,
+                n=6,
+                instrumentation="history",
+            )
+        )
+        with pytest.raises(CacheError, match="uninstrumented"):
+            report_to_doc(report)
+
+    def test_malformed_doc_rejected(self):
+        with pytest.raises(CacheError, match="malformed run-report"):
+            report_from_doc({"n": 4, "reach_bits": "zz"})
+
+
+class TestCacheMechanics:
+    def test_lru_eviction_and_counters(self):
+        cache = ResultCache(capacity=3)
+        for i in range(4):
+            cache.store(f"d{i}", "cell", {"t_star": i})
+        assert len(cache) == 3
+        assert "d0" not in cache  # least recently used fell out
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["stores"] == 4
+        # a hit refreshes recency: d1 survives the next eviction
+        assert cache.lookup("d1") == {"t_star": 1}
+        cache.store("d4", "cell", {"t_star": 4})
+        assert "d1" in cache and "d2" not in cache
+
+    def test_kind_mismatch_is_a_miss(self):
+        cache = ResultCache()
+        cache.store("d", "cell", {"t_star": 1})
+        assert cache.lookup("d", kind="run") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_persistence_round_trip_later_lines_win(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        first = ResultCache(path=path)
+        first.store("a", "cell", {"t_star": 1})
+        first.store("b", "cell", {"t_star": 2})
+        first.store("a", "cell", {"t_star": 3})  # overwrite appends
+        reopened = ResultCache(path=path)
+        assert reopened.lookup("a") == {"t_star": 3}
+        assert reopened.lookup("b") == {"t_star": 2}
+        assert reopened.stats()["loaded_from_disk"] == 3
+
+    def test_stale_version_entries_rejected_not_served(self, tmp_path):
+        """A cache written by a different format version must miss."""
+        path = tmp_path / "cache.jsonl"
+        stale = {
+            "format_version": CACHE_FORMAT_VERSION + 1,
+            "digest": "d-stale",
+            "kind": "cell",
+            "payload": {"t_star": 99},
+        }
+        good = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "digest": "d-good",
+            "kind": "cell",
+            "payload": {"t_star": 5},
+        }
+        path.write_text(json.dumps(stale) + "\n" + json.dumps(good) + "\n")
+        cache = ResultCache(path=path)
+        assert cache.lookup("d-stale") is None  # rejected, not served
+        assert cache.lookup("d-good") == {"t_star": 5}
+        assert cache.stats()["stale_rejected"] == 1
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(CacheError, match="not valid JSON"):
+            ResultCache(path=path)
+
+    def test_clear_truncates_file(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path=path)
+        cache.store("a", "cell", {"t_star": 1})
+        cache.clear()
+        assert len(cache) == 0
+        assert path.read_text() == ""
+        assert len(ResultCache(path=path)) == 0
+
+
+class TestCachedSweeps:
+    """The satellite: ``Executor.sweep(..., cache=...)`` computes only new
+    cells and stays bit-identical to a cold sweep."""
+
+    @pytest.mark.parametrize("executor_cls", [SequentialExecutor, BatchExecutor])
+    def test_warm_sweep_bit_identical_and_incremental(self, executor_cls):
+        executor = executor_cls()
+        handles = portfolio_handles(include_search=False)
+        cache = SweepCellCache(ResultCache())
+        cold_small = executor.sweep(handles, [6, 8])
+        warm_small = executor.sweep(handles, [6, 8], cache=cache)
+        assert warm_small.to_json() == cold_small.to_json()
+        filled = cache.cache.stats()
+        assert filled["entries"] == 2 * len(handles)
+        # enlarging the grid recomputes only the new n=10 column
+        cold_big = executor.sweep(handles, [6, 8, 10])
+        warm_big = executor.sweep(handles, [6, 8, 10], cache=cache)
+        assert warm_big.to_json() == cold_big.to_json()
+        stats = cache.cache.stats()
+        assert stats["hits"] - filled["hits"] == 2 * len(handles)
+        assert stats["entries"] == 3 * len(handles)
+        # a fully-warm rerun computes nothing new
+        before = cache.cache.stats()["stores"]
+        assert executor.sweep(handles, [6, 8, 10], cache=cache).to_json() == cold_big.to_json()
+        assert cache.cache.stats()["stores"] == before
+
+    def test_sharded_executor_uses_the_cache_in_the_parent(self):
+        handles = portfolio_handles(include_search=False)
+        cache = SweepCellCache(ResultCache())
+        sharded = ShardedExecutor(workers=2)
+        cold = sharded.sweep(handles, [6, 8])
+        warm = sharded.sweep(handles, [6, 8], cache=cache)
+        assert warm.to_json() == cold.to_json()
+        rerun = sharded.sweep(handles, [6, 8], cache=cache)
+        assert rerun.to_json() == cold.to_json()
+        stats = cache.cache.stats()
+        assert stats["hits"] >= 2 * len(handles)
+
+    def test_sweep_adversaries_cache_passthrough(self):
+        handles = portfolio_handles(include_search=False)
+        cache = SweepCellCache(ResultCache())
+        first = sweep_adversaries(handles, [6], cache=cache)
+        second = sweep_adversaries(handles, [6], cache=cache)
+        assert second.to_json() == first.to_json()
+        assert cache.cache.stats()["hits"] == len(handles)
+
+    def test_plain_factories_bypass_the_cache(self):
+        from repro.adversaries.paths import StaticPathAdversary
+
+        cache = SweepCellCache(ResultCache())
+        result = SequentialExecutor().sweep(
+            {"plain": StaticPathAdversary}, [6, 8], cache=cache
+        )
+        assert [p.t_star for p in result.points] == [5, 7]
+        assert cache.cache.stats()["entries"] == 0
+
+    def test_cell_entries_do_not_collide_with_run_entries(self):
+        """A cell spec *is* a run spec: the two kinds must coexist under
+        one store (cell keys are namespaced), never evict each other."""
+        executor = SequentialExecutor()
+        store = ResultCache()
+        cells = SweepCellCache(store)
+        handles = {"StaticPath": portfolio_handles()["StaticPath"]}
+        raw = {"adversary": "static-path", "n": 8}
+        run_digest = spec_digest(raw)
+        store.store_report(run_digest, executor.run(to_run_spec(raw)))
+        executor.sweep(handles, [8], cache=cells)  # same underlying spec
+        assert store.lookup_report(run_digest) is not None  # run survived
+        key = cells.key_for(to_run_spec(raw))
+        assert key != run_digest and cells.lookup(key) == (True, 7)
+
+    def test_cache_respects_backend_in_the_cell_address(self):
+        """Cells are addressed per backend name: no cross-backend serving."""
+        handles = {"Rot": portfolio_handles()["RotatingPath"]}
+        cache = SweepCellCache(ResultCache())
+        executor = SequentialExecutor()
+        with use_backend("dense"):
+            executor.sweep(handles, [8], cache=cache)
+        with use_backend("bitset"):
+            executor.sweep(handles, [8], cache=cache)
+        assert cache.cache.stats()["entries"] == 2

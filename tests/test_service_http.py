@@ -1,0 +1,177 @@
+"""HTTP/JSON API end-to-end: the CI service smoke + concurrency acceptance.
+
+``test_service_smoke`` is the scripted CI satellite: ephemeral port, one
+run + one sweep submitted through the client, polled to completion,
+``/metrics`` verified, graceful shutdown.  ``test_concurrent_clients_*``
+is the acceptance criterion: >= 8 client threads submitting overlapping
+specs produce exactly one computation per unique digest (checked through
+``/metrics``) with every response correct.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.executor import SequentialExecutor
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceServer
+from repro.service.specs import spec_digest, to_run_spec
+
+
+@pytest.fixture
+def service():
+    """A running server on an ephemeral port + a client bound to it."""
+    with ServiceServer() as server:
+        yield server, ServiceClient.from_url(server.url)
+
+
+def test_service_smoke(service):
+    """The CI smoke: health, run, sweep, metrics, graceful shutdown."""
+    server, client = service
+    assert client.healthz()["status"] == "ok"
+    assert "rotating-path" in client.specs()["adversaries"]
+
+    run_doc = client.submit_run(
+        {"adversary": "rotating-path", "n": 16, "params": {"shift": 2}}
+    )
+    assert run_doc["status"] in ("queued", "running", "done")
+    run_doc = client.wait(run_doc["job_id"], timeout=30)
+    assert run_doc["status"] == "done"
+    assert run_doc["result"]["t_star"] == 15
+    report = client.run_report(run_doc)
+    assert report.t_star == 15 and report.n == 16
+
+    sweep_doc = client.submit_sweep(
+        {"adversaries": ["static-path", "rotating-path"], "ns": [6, 8]}
+    )
+    sweep_doc = client.wait(sweep_doc["job_id"], timeout=30)
+    assert sweep_doc["status"] == "done"
+    assert [p["t_star"] for p in sweep_doc["result"]["points"]] == [5, 5, 7, 7]
+
+    metrics = client.metrics()
+    assert metrics["submitted"] == 2
+    assert metrics["jobs"]["done"] == 2
+    assert metrics["jobs"]["failed"] == 0
+    assert metrics["cache"]["entries"] >= 2
+
+    # graceful shutdown via the API: the port stops answering
+    client.shutdown()
+    server._stopped.wait(timeout=10)
+    with pytest.raises(ServiceError, match="failed"):
+        client.healthz()
+
+
+def test_resubmission_is_served_from_cache(service):
+    _, client = service
+    spec = {"adversary": "sorted-path", "n": 14, "params": {"ascending": False}}
+    cold = client.wait(client.submit_run(spec)["job_id"], timeout=30)
+    warm = client.submit_run({k: spec[k] for k in reversed(list(spec))})
+    assert warm["status"] == "done" and warm["cached"] is True
+    assert warm["result"] == cold["result"]
+    metrics = client.metrics()
+    assert metrics["computations"] == 1
+    assert metrics["cache"]["hits"] >= 1
+
+
+def test_error_envelopes(service):
+    _, client = service
+    with pytest.raises(ServiceError, match="unknown adversary"):
+        client.submit_run({"adversary": "no-such", "n": 8})
+    with pytest.raises(ServiceError, match="missing 'n'"):
+        client.submit_run({"adversary": "runner"})
+    with pytest.raises(ServiceError, match="unknown job id"):
+        client.job("job-999999")
+    status, doc = client._request("GET", "/v1/nope")
+    assert status == 404 and "error" in doc
+    status, _ = client._request("POST", "/v1/runs")  # empty body
+    assert status == 400
+
+
+def test_sweeps_alias_and_job_envelope(service):
+    _, client = service
+    doc = client.submit_sweep({"adversaries": ["runner"], "ns": [6]})
+    done = client.wait(doc["job_id"], timeout=30)
+    status, alias = client._request("GET", f"/v1/sweeps/{doc['job_id']}")
+    assert status == 200
+    assert alias["digest"] == done["digest"]
+    assert alias["kind"] == "sweep"
+    assert alias["spec"]["ns"] == [6]
+
+
+def test_cli_submit_reports_truncated_runs_cleanly(service, capsys):
+    """A run capped by max_rounds has t_star=None; submit must not crash."""
+    from repro.cli import main
+
+    server, _ = service
+    rc = main(
+        [
+            "submit",
+            "--url",
+            server.url,
+            "-n",
+            "16",
+            "--adversary",
+            "static-path",
+            "--max-rounds",
+            "3",
+            "--wait",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "truncated by max_rounds" in out
+
+
+def test_concurrent_clients_compute_each_digest_once(service):
+    """Acceptance: 8 threads, overlapping specs, one computation each."""
+    _, client = service
+    specs = [
+        {"adversary": "static-path", "n": 12},
+        {"adversary": "rotating-path", "n": 12, "params": {"shift": 2}},
+        {"adversary": "alternating-path", "n": 12, "params": {"period": 2}},
+        {"adversary": "sorted-path", "n": 12},
+        {"adversary": "runner", "n": 12},
+        {"adversary": "two-phase-flip", "n": 12},
+    ]
+    digests = {spec_digest(s) for s in specs}
+    assert len(digests) == len(specs)
+    expected = {
+        spec_digest(s): SequentialExecutor().run(to_run_spec(s)).t_star
+        for s in specs
+    }
+    results = []
+    errors = []
+    lock = threading.Lock()
+
+    def hammer(offset: int) -> None:
+        try:
+            local = ServiceClient.from_url(f"http://{client.host}:{client.port}")
+            for spec in specs[offset:] + specs[:offset]:
+                doc = local.submit_run(dict(spec))
+                doc = local.wait(doc["job_id"], timeout=60)
+                with lock:
+                    results.append((doc["digest"], doc))
+        except Exception as exc:  # surfaced after join
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(i % len(specs),)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(results) == 8 * len(specs)
+    for digest, doc in results:
+        assert doc["status"] == "done"
+        assert doc["result"]["t_star"] == expected[digest]
+    metrics = client.metrics()
+    assert metrics["submitted"] == 8 * len(specs)
+    # the acceptance counter: exactly one computation per unique digest
+    assert metrics["computations"] == len(specs)
+    assert metrics["dedup_inflight"] + metrics["cache"]["hits"] >= 8 * len(specs) - len(specs)
