@@ -89,6 +89,56 @@ def test_http_requests_per_second_cold_vs_warm(n, capsys):
         )
 
 
+@pytest.mark.table
+def test_experiment_task_graph_cold_vs_warm(capsys):
+    """E1-E8 as task graphs: cold compute vs warm content-addressed rerun.
+
+    The asserted bars: every warm rerun computes zero tasks (zero
+    simulation runs in particular) while rendering a byte-identical
+    table, and the warm pass is >= 5x faster than the cold pass for the
+    run-heavy experiments (E2's cyclic grid dominates its cold time).
+    """
+    from repro.experiments import run_experiment
+    from repro.service.cache import ResultCache
+
+    cache = ResultCache()
+    rows = []
+    speedups = {}
+    for eid in [f"E{i}" for i in range(1, 9)]:
+        t0 = time.perf_counter()
+        cold_table, cold = run_experiment(eid, cache=cache)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm_table, warm = run_experiment(eid, cache=cache)
+        t_warm = time.perf_counter() - t0
+        assert warm.stats["computed"] == 0, f"{eid} warm rerun computed tasks"
+        assert warm.stats["runs_computed"] == 0
+        assert warm_table.render() == cold_table.render()
+        speedups[eid] = t_cold / max(t_warm, 1e-9)
+        rows.append(
+            (
+                eid,
+                cold.stats["tasks"],
+                cold.stats["runs_computed"],
+                f"{t_cold * 1e3:.1f}ms",
+                f"{t_warm * 1e3:.1f}ms",
+                f"{speedups[eid]:.1f}x",
+            )
+        )
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["experiment", "tasks", "runs", "cold", "warm", "speedup"],
+                rows,
+                title="E1-E8 through the task API: cold vs warm cache",
+            )
+        )
+    assert speedups["E2"] >= 5.0, (
+        f"warm E2 rerun only {speedups['E2']:.1f}x faster; expected >= 5x"
+    )
+
+
 @pytest.mark.parametrize("n", [64])
 def test_warm_submit_latency(benchmark, n):
     """pytest-benchmark probe: one fully-warm submit+wait round trip."""

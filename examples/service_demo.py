@@ -2,8 +2,10 @@
 
 Starts a :class:`~repro.service.server.ServiceServer` on an ephemeral
 port, then uses the HTTP client exactly as a remote caller would: submit
-declarative run specs, watch the content-addressed cache answer repeats
-instantly, submit a sweep, and read the ``/metrics`` counters.
+declarative run specs (one by one and as a batch), watch the
+content-addressed cache answer repeats instantly, submit a sweep, submit
+a whole paper experiment as a **task graph** (``POST /v1/tasks``) and
+watch its per-node statuses, and read the ``/metrics`` counters.
 
 Run with::
 
@@ -15,6 +17,7 @@ from __future__ import annotations
 import time
 
 from repro.analysis.tables import format_table
+from repro.experiments import experiment_graph, table_from_doc
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceServer
 
@@ -59,6 +62,17 @@ def main() -> None:
             )
         )
 
+        # Batch submission: one request, per-item job envelopes in order.
+        batch = client.submit_runs(
+            [
+                {"adversary": "runner", "n": 48, "backend": "bitset"},
+                {"adversary": "zeiner-style", "n": 48, "backend": "bitset"},
+            ]
+        )
+        for envelope in batch:
+            client.wait(envelope["job_id"], timeout=300)
+        print(f"batch of {len(batch)} specs submitted via POST /v1/runs:batch")
+
         sweep = client.wait(
             client.submit_sweep(
                 {
@@ -69,13 +83,29 @@ def main() -> None:
             )["job_id"],
             timeout=300,
         )
-        print(f"\nsweep produced {len(sweep['result']['points'])} grid points")
+        print(f"sweep produced {len(sweep['result']['points'])} grid points")
+
+        # A paper experiment as a task graph: E2's run grid + aggregation.
+        graph, output = experiment_graph("E2")
+        doc = graph.to_doc()
+        envelope = client.submit_tasks(doc["tasks"], outputs=[output])
+        done = client.wait(envelope["job_id"], timeout=300)
+        stats = done["result"]["stats"]
+        print(
+            f"\nexperiment E2 as a task graph ({stats['tasks']} tasks, "
+            f"{stats['runs_computed']} runs computed):"
+        )
+        print(table_from_doc(done["result"]["outputs"][output]).render())
+        warm = client.submit_tasks(doc["tasks"], outputs=[output])
+        assert warm["cached"] and warm["status"] == "done"
+        print("warm resubmission answered from the graph cache\n")
 
         metrics = client.metrics()
         print(
             f"metrics: {metrics['computations']} computations for "
             f"{metrics['submitted']} submissions; cache "
-            f"{metrics['cache']['hits']} hits / {metrics['cache']['misses']} misses"
+            f"{metrics['cache']['hits']} hits / {metrics['cache']['misses']} misses "
+            f"({metrics['cache']['bytes']} bytes held)"
         )
 
 

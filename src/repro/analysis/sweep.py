@@ -76,14 +76,14 @@ class SweepResult:
     # Serialization (CLI ``sweep --out`` / cross-engine comparisons)
     # ------------------------------------------------------------------
 
-    def to_json(self, indent: Optional[int] = None) -> str:
-        """Serialize the full grid to a JSON string.
+    def to_doc(self) -> Dict[str, object]:
+        """The JSON-ready document form of the grid (what codecs store).
 
         The point order is preserved, so two sweeps of the same grid by
-        different executors serialize to byte-identical documents -- the
-        CI executor-equivalence job diffs these files directly.
+        different executors (or through the task-graph path) produce
+        identical documents.
         """
-        doc = {
+        return {
             "format_version": SWEEP_FORMAT_VERSION,
             "points": [
                 {
@@ -96,19 +96,23 @@ class SweepResult:
                 for p in self.points
             ],
         }
-        return json.dumps(doc, indent=indent)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the full grid to a JSON string.
+
+        The point order is preserved, so two sweeps of the same grid by
+        different executors serialize to byte-identical documents -- the
+        CI executor-equivalence job diffs these files directly.
+        """
+        return json.dumps(self.to_doc(), indent=indent)
 
     @classmethod
-    def from_json(cls, text: str) -> "SweepResult":
-        """Parse a result previously produced by :meth:`to_json`.
+    def from_doc(cls, doc: object) -> "SweepResult":
+        """Rebuild a result from its :meth:`to_doc` document.
 
         Raises :class:`~repro.errors.SweepFormatError` on malformed input
-        (bad JSON, wrong version, missing point fields).
+        (wrong version, missing point fields).
         """
-        try:
-            doc = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise SweepFormatError(f"sweep result is not valid JSON: {exc}") from exc
         version = doc.get("format_version") if isinstance(doc, dict) else None
         if version != SWEEP_FORMAT_VERSION:
             raise SweepFormatError(
@@ -132,6 +136,19 @@ class SweepResult:
             except (KeyError, TypeError, ValueError) as exc:
                 raise SweepFormatError(f"malformed sweep point {i}: {exc!r}") from exc
         return cls(points=points)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Parse a result previously produced by :meth:`to_json`.
+
+        Raises :class:`~repro.errors.SweepFormatError` on malformed input
+        (bad JSON, wrong version, missing point fields).
+        """
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SweepFormatError(f"sweep result is not valid JSON: {exc}") from exc
+        return cls.from_doc(doc)
 
     def save(self, path: Union[str, Path]) -> None:
         """Write the result to ``path`` as indented JSON."""

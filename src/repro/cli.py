@@ -8,9 +8,10 @@ Subcommands
 ``sweep``     run the adversary portfolio over a range of n
 ``exact``     exhaustive game solve for small n
 ``lemmas``    spot-check the executable lemmas on random configurations
-``experiment``run a registered experiment (E1..E8) and print its table
+``experiment``run a registered experiment (E1..E8) through the task API
 ``serve``     start the simulation service (HTTP/JSON API over the executors)
 ``submit``    submit one declarative run spec to a running service
+``task``      submit/inspect task graphs on a running service (submit | status)
 ``cache``     inspect or clear a persistent result cache (stats | clear)
 
 Examples
@@ -27,9 +28,14 @@ Examples
     repro-broadcast sweep --ns 8 10 --engine sequential --out sweep.json
     repro-broadcast sweep --ns 8 10 12 --cache sweep-cache.jsonl
     repro-broadcast exact -n 4
+    repro-broadcast experiment E2 --cache results.jsonl
+    repro-broadcast experiment E5 --engine sharded --workers 4
     repro-broadcast serve --port 8642 --cache results.jsonl
     repro-broadcast submit --url http://127.0.0.1:8642 -n 64 \
         --adversary rotating-path --param shift=2 --wait
+    repro-broadcast task submit --url http://127.0.0.1:8642 \
+        --file graph.json --wait
+    repro-broadcast task status job-000001 --url http://127.0.0.1:8642
     repro-broadcast cache stats --path results.jsonl
 """
 
@@ -278,17 +284,69 @@ def cmd_lemmas(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    """Run one registered experiment (or all) and print its table."""
-    from repro.experiments import get_experiment, list_experiments
+    """Run one registered experiment (or all) and print its table.
+
+    Experiments execute through the task API (declarative unit grid +
+    pure aggregation): ``--engine``/``--workers`` pick the executor the
+    run tasks batch/shard through, ``--cache`` content-addresses every
+    task so a warm rerun computes zero runs and reproduces the table
+    byte-identically, and ``--legacy`` runs the pre-task-API inline path
+    (the equivalence oracle).
+    """
+    from repro.experiments import get_experiment, list_experiments, run_experiment
 
     if args.id == "list":
         for spec in list_experiments():
             print(f"{spec.experiment_id}: {spec.title} ({spec.paper_artifact})")
         return 0
+
+    executor = None
+    cache = None
+    if args.legacy:
+        ignored = [
+            flag
+            for flag, is_set in (
+                ("--engine", args.engine != "sequential"),
+                ("--workers", args.workers != 1),
+                ("--cache", bool(args.cache)),
+            )
+            if is_set
+        ]
+        if ignored:
+            print(
+                f"warning: {', '.join(ignored)} ignored with --legacy "
+                "(the inline path bypasses the task API)",
+                file=sys.stderr,
+            )
+    else:
+        from repro.engine.executor import get_executor
+
+        _warn_ignored_workers(args)
+        executor = get_executor(args.engine, workers=args.workers)
+        if args.cache:
+            from repro.service.cache import ResultCache
+
+            cache = ResultCache(path=args.cache)
+
+    def run_one(spec) -> "object":
+        if args.legacy:
+            return spec.run_legacy()
+        table, graph_run = run_experiment(
+            spec.experiment_id, executor=executor, cache=cache
+        )
+        s = graph_run.stats
+        print(
+            f"[{spec.experiment_id}] task graph: {s['tasks']} tasks, "
+            f"{s['cached']} cached, {s['computed']} computed, "
+            f"runs computed: {s['runs_computed']}",
+            file=sys.stderr,
+        )
+        return table
+
     if args.id == "all":
         ok = True
         for spec in list_experiments():
-            table = spec.run()
+            table = run_one(spec)
             print(table.render())
             print()
             ok = ok and table.checks_passed
@@ -298,7 +356,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    table = spec.run()
+    table = run_one(spec)
     print(table.render())
     return 0 if table.checks_passed else 1
 
@@ -332,6 +390,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             executor=args.engine,
             cache_path=args.cache,
             cache_capacity=args.cache_capacity,
+            cache_max_bytes=args.cache_max_bytes,
             scheduler_workers=args.jobs,
         )
     except OSError as exc:  # bind failure: port in use, bad host, ...
@@ -339,7 +398,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     print(f"repro simulation service listening on {server.url}")
     print(
-        "endpoints: POST /v1/runs, POST /v1/sweeps, GET /v1/runs/<id>, "
+        "endpoints: POST /v1/runs, POST /v1/runs:batch, POST /v1/sweeps, "
+        "POST /v1/tasks, GET /v1/runs/<id>, GET /v1/tasks/<id>, "
         "GET /v1/specs, GET /healthz, GET /metrics, POST /v1/shutdown"
     )
     if args.cache:
@@ -396,6 +456,99 @@ def cmd_submit(args: argparse.Namespace) -> int:
         f"executor = {result['executor']})"
     )
     return 0
+
+
+def _print_task_job(doc: Dict[str, object]) -> None:
+    """One-line envelope + per-node state counts for a task-graph job."""
+    nodes = doc.get("tasks") or {}
+    by_state: Dict[str, int] = {}
+    for node in nodes.values():
+        by_state[node["status"]] = by_state.get(node["status"], 0) + 1
+    states = ", ".join(f"{k}={v}" for k, v in sorted(by_state.items()))
+    print(
+        f"job {doc['job_id']}: status={doc['status']} cached={doc['cached']} "
+        f"digest={str(doc['digest'])[:16]}... nodes[{states or 'none'}]"
+    )
+    if doc.get("error"):
+        print(f"error: {doc['error']}", file=sys.stderr)
+
+
+def _print_task_outputs(doc: Dict[str, object]) -> None:
+    """Render each finished graph output through its kind's natural form."""
+    from repro.experiments import table_from_doc
+
+    result = doc.get("result") or {}
+    nodes = doc.get("tasks") or {}
+    stats = result.get("stats")
+    if stats:
+        print(
+            f"stats: {stats['tasks']} tasks, {stats['cached']} cached, "
+            f"{stats['computed']} computed, runs computed: "
+            f"{stats['runs_computed']}"
+        )
+    for digest, out in (result.get("outputs") or {}).items():
+        kind = nodes.get(digest, {}).get("kind", "?")
+        if out is None:
+            print(f"output {digest[:16]}... ({kind}): <not completed>")
+        elif kind == "experiment":
+            print(table_from_doc(out).render())
+        elif kind == "run":
+            print(f"output {digest[:16]}... (run): t* = {out['t_star']} at n = {out['n']}")
+        elif kind == "sweep-agg":
+            print(f"output {digest[:16]}... (sweep): {len(out['points'])} grid points")
+        else:
+            import json
+
+            print(f"output {digest[:16]}... ({kind}): {json.dumps(out)}")
+
+
+def cmd_task_submit(args: argparse.Namespace) -> int:
+    """Submit a task-graph JSON document to a running service."""
+    import json
+
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    try:
+        if args.file == "-":
+            doc = json.load(sys.stdin)
+        else:
+            with open(args.file, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read task graph from {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict):
+        print("task graph document must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        client = ServiceClient.from_url(args.url)
+        envelope = client.submit_tasks(doc.get("tasks", []), outputs=doc.get("outputs"))
+        if args.wait:
+            envelope = client.wait(envelope["job_id"], timeout=args.timeout)
+    except ServiceError as exc:  # unreachable server, rejected graph, timeout
+        print(str(exc), file=sys.stderr)
+        return 2
+    _print_task_job(envelope)
+    if envelope["status"] == "done":
+        _print_task_outputs(envelope)
+    return 1 if envelope["status"] == "failed" else 0
+
+
+def cmd_task_status(args: argparse.Namespace) -> int:
+    """Per-node status (and results when done) of a task-graph job."""
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    try:
+        doc = ServiceClient.from_url(args.url).task_job(args.job_id)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _print_task_job(doc)
+    if doc["status"] == "done":
+        _print_task_outputs(doc)
+    return 1 if doc["status"] == "failed" else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -522,9 +675,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lemmas)
 
     p = sub.add_parser(
-        "experiment", help="run a registered experiment (E1..E8, list, all)"
+        "experiment",
+        help="run a registered experiment (E1..E8, list, all) via the task API",
     )
     p.add_argument("id", help="experiment id, 'list', or 'all'")
+    p.add_argument(
+        "--engine",
+        choices=["sequential", "batch", "sharded"],
+        default="sequential",
+        help=(
+            "executor the experiment's run tasks dispatch through "
+            "(results are identical across engines; default: sequential)"
+        ),
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --engine sharded (default: 1)",
+    )
+    p.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help=(
+            "content-addressed task cache (JSONL): a warm rerun computes "
+            "zero runs and reproduces the table byte-identically"
+        ),
+    )
+    p.add_argument(
+        "--legacy",
+        action="store_true",
+        help="run the pre-task-API inline implementation (equivalence oracle)",
+    )
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(
@@ -551,6 +734,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="in-memory LRU capacity (default: 4096 entries)",
+    )
+    p.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help=(
+            "byte budget for the in-memory cache tier (LRU eviction past "
+            "it; totals visible in /metrics under cache.bytes)"
+        ),
     )
     p.add_argument(
         "--jobs",
@@ -587,6 +779,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0, help="--wait deadline in seconds"
     )
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "task", help="submit or inspect task graphs on a running service"
+    )
+    tsub = p.add_subparsers(dest="task_cmd", required=True)
+    ps = tsub.add_parser(
+        "submit", help="submit a task-graph JSON document ({'tasks': [...]})"
+    )
+    ps.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    ps.add_argument(
+        "--file",
+        required=True,
+        metavar="PATH",
+        help="task-graph JSON document ('-' reads stdin)",
+    )
+    ps.add_argument(
+        "--wait", action="store_true", help="poll until the graph finishes"
+    )
+    ps.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait deadline in seconds"
+    )
+    ps.set_defaults(func=cmd_task_submit)
+    ps = tsub.add_parser(
+        "status", help="per-node status of a task-graph job"
+    )
+    ps.add_argument("job_id", help="job id returned by task submit")
+    ps.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    ps.set_defaults(func=cmd_task_status)
 
     p = sub.add_parser(
         "cache", help="inspect or clear a persistent result cache"

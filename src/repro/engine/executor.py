@@ -324,6 +324,30 @@ class Executor:
         """Execute many runs; reports are returned in spec order."""
         raise NotImplementedError
 
+    def run_many_settled(
+        self, specs: Sequence[RunSpec]
+    ) -> List[Union[RunReport, Exception]]:
+        """``run_many`` with per-spec failure isolation.
+
+        The whole list is dispatched through :meth:`run_many` first (one
+        batched/sharded call -- the fast path); if that raises, each spec
+        is retried individually so exactly the offending specs settle to
+        their exception while the rest still produce reports.  Results
+        are in spec order; callers dispatching independent work units
+        (the service scheduler, task-graph execution) use this so one bad
+        adversary cannot fail its batch neighbours.
+        """
+        try:
+            return list(self.run_many(specs))
+        except Exception:
+            settled: List[Union[RunReport, Exception]] = []
+            for spec in specs:
+                try:
+                    settled.append(self.run(spec))
+                except Exception as exc:
+                    settled.append(exc)
+            return settled
+
     def sweep(
         self,
         adversary_factories: Dict[str, Callable[[int], AdversaryProtocol]],

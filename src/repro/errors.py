@@ -20,13 +20,24 @@ which subsystem rejected the input:
 * :class:`SweepFormatError` -- a serialized sweep result failed validation.
 * :class:`SpecError` -- a declarative simulation spec failed validation
   against the service registry (see :mod:`repro.service.specs`).
+* :class:`TaskError` -- a task graph (task kinds, payloads, input wiring)
+  failed validation (see :mod:`repro.service.tasks`); a subclass of
+  :class:`SpecError` so spec-rejection handling covers both.
 * :class:`CacheError` -- a result-cache store or entry was malformed or
   misused (see :mod:`repro.service.cache`).
 * :class:`ServiceError` -- the simulation service (scheduler / HTTP API /
-  client) was misused or returned a failure.
+  client) was misused or returned a failure.  The client raises typed
+  subclasses carrying transport context: :class:`ServiceConnectionError`
+  (the server was unreachable mid-request) and
+  :class:`ServiceResponseError` (a non-2xx response; ``status`` and the
+  server's JSON ``payload`` are attached), itself specialized into
+  :class:`SpecRejectedError` (400) and :class:`UnknownResourceError`
+  (404).
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional
 
 
 class ReproError(Exception):
@@ -83,9 +94,45 @@ class SpecError(ReproError, ValueError):
     """A declarative simulation spec failed registry validation."""
 
 
+class TaskError(SpecError):
+    """A task graph failed validation (unknown kind, bad payload/inputs)."""
+
+
 class CacheError(ReproError, ValueError):
     """A result-cache entry or store is malformed or was misused."""
 
 
 class ServiceError(ReproError, RuntimeError):
     """The simulation service (scheduler/HTTP/client) failed or was misused."""
+
+
+class ServiceConnectionError(ServiceError):
+    """The service could not be reached (refused, reset, timed out)."""
+
+
+class ServiceResponseError(ServiceError):
+    """The service answered with a non-2xx status.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code of the response.
+    payload:
+        The decoded JSON error document the server returned (the
+        ``error`` field becomes the exception message).
+    """
+
+    def __init__(
+        self, message: str, status: int, payload: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.payload: Dict[str, Any] = dict(payload or {})
+
+
+class SpecRejectedError(ServiceResponseError):
+    """The service rejected a submitted spec or task graph (HTTP 400)."""
+
+
+class UnknownResourceError(ServiceResponseError):
+    """The requested job/path does not exist on the service (HTTP 404)."""

@@ -17,15 +17,25 @@ regeneration path recorded in EXPERIMENTS.md.
 from repro.experiments.registry import (
     ExperimentSpec,
     ExperimentTable,
+    experiment_graph,
     get_experiment,
+    known_experiment_ids,
     list_experiments,
     run_all,
+    run_experiment,
+    table_from_doc,
+    table_to_doc,
 )
 
 __all__ = [
     "ExperimentSpec",
     "ExperimentTable",
+    "experiment_graph",
     "get_experiment",
+    "known_experiment_ids",
     "list_experiments",
     "run_all",
+    "run_experiment",
+    "table_from_doc",
+    "table_to_doc",
 ]

@@ -15,11 +15,16 @@ front-end that actually *serves* users instead of scripts:
 * :mod:`~repro.service.scheduler` -- a thread-based job queue with
   queued/running/done/failed states, in-flight dedup of identical digests,
   and batching of compatible queued specs into single executor dispatches;
+* :mod:`~repro.service.tasks` -- Task API v2: typed, versioned,
+  content-addressed task graphs (run cells, sweep aggregations, E1..E8
+  experiments) with a task-kind registry, a result-codec registry, and a
+  topological runner that batches run tasks through the executors;
 * :mod:`~repro.service.server` -- a stdlib ``ThreadingHTTPServer`` JSON API
-  (``POST /v1/runs``, ``GET /v1/runs/<id>``, ``POST /v1/sweeps``,
+  (``POST /v1/runs``, ``POST /v1/runs:batch``, ``GET /v1/runs/<id>``,
+  ``POST /v1/sweeps``, ``POST /v1/tasks``, ``GET /v1/tasks/<id>``,
   ``GET /healthz``, ``GET /metrics``);
 * :mod:`~repro.service.client` -- a thin ``http.client`` wrapper used by
-  tests, benchmarks, and the CLI ``submit`` subcommand.
+  tests, benchmarks, and the CLI ``submit``/``task`` subcommands.
 """
 
 from repro.service.cache import (
@@ -44,11 +49,28 @@ from repro.service.specs import (
     spec_digest,
     to_run_spec,
 )
+from repro.service.tasks import (
+    TASK_VERSION,
+    GraphRun,
+    TaskGraph,
+    TaskGraphRunner,
+    TaskSpec,
+    canonical_task,
+    describe_task_kinds,
+    graph_digest,
+    register_codec,
+    register_task_kind,
+    run_graph,
+    sweep_graph,
+    task_digest,
+)
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "JOB_STATES",
     "SPEC_VERSION",
+    "TASK_VERSION",
+    "GraphRun",
     "Job",
     "JobScheduler",
     "ResultCache",
@@ -56,14 +78,25 @@ __all__ = [
     "ServiceServer",
     "SpecHandle",
     "SweepCellCache",
+    "TaskGraph",
+    "TaskGraphRunner",
+    "TaskSpec",
     "adversary_names",
     "canonical_run_spec",
     "canonical_sweep_spec",
+    "canonical_task",
     "describe_registry",
+    "describe_task_kinds",
+    "graph_digest",
     "portfolio_handles",
     "register_adversary",
+    "register_codec",
+    "register_task_kind",
     "report_from_doc",
     "report_to_doc",
+    "run_graph",
     "spec_digest",
+    "sweep_graph",
+    "task_digest",
     "to_run_spec",
 ]

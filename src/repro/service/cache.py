@@ -53,8 +53,10 @@ if TYPE_CHECKING:  # runtime imports stay lazy (executor imports are cyclic)
 #: Bump when the entry layout (or any payload encoding) changes.
 CACHE_FORMAT_VERSION = 1
 
-#: Result kinds a cache entry may carry.
-ENTRY_KINDS = ("run", "cell", "sweep")
+#: Result kinds a cache entry may carry.  ``"task"`` holds one task-graph
+#: node's encoded result (namespaced by its task kind inside the payload);
+#: ``"graph"`` a whole graph job's outcome document.
+ENTRY_KINDS = ("run", "cell", "sweep", "task", "graph")
 
 
 def report_to_doc(report: "RunReport") -> Dict[str, Any]:
@@ -131,17 +133,31 @@ class ResultCache:
     capacity:
         Maximum entries held in memory; least-recently-used entries are
         evicted past it (the file, if any, is never trimmed by eviction).
+    max_bytes:
+        Optional byte budget for the memory tier: entries are sized by
+        their serialized payload, and least-recently-used entries are
+        evicted while the total exceeds the budget.  The most recent
+        entry always survives (an oversized store must not be a silent
+        no-op).  ``None`` disables the byte budget; the entry-count LRU
+        applies either way.
     """
 
     def __init__(
-        self, path: Optional[Union[str, Path]] = None, capacity: int = 4096
+        self,
+        path: Optional[Union[str, Path]] = None,
+        capacity: int = 4096,
+        max_bytes: Optional[int] = None,
     ) -> None:
         if capacity < 1:
             raise CacheError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise CacheError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self._path = Path(path) if path is not None else None
         self._capacity = capacity
+        self._max_bytes = max_bytes
+        self._bytes = 0
         self._lock = threading.RLock()
-        self._entries: "OrderedDict[str, Tuple[str, Dict[str, Any]]]" = OrderedDict()
+        self._entries: "OrderedDict[str, Tuple[str, Dict[str, Any], int]]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._stores = 0
@@ -186,36 +202,73 @@ class ResultCache:
                 self._insert(digest, kind, payload)
                 self._loaded += 1
 
-    def _append_line(self, digest: str, kind: str, payload: Any) -> None:
-        entry = {
-            "format_version": CACHE_FORMAT_VERSION,
-            "digest": digest,
-            "kind": kind,
-            "payload": payload,
-        }
+    def _append_line(self, digest: str, kind: str, payload_json: str) -> None:
+        # The payload is already serialized (shared with byte accounting);
+        # splice it into the envelope rather than serializing twice.  Keys
+        # stay in sorted order ("payload" sorts last), so the line is
+        # byte-identical to a full ``json.dumps(entry, sort_keys=True)``.
+        envelope = json.dumps(
+            {"digest": digest, "format_version": CACHE_FORMAT_VERSION, "kind": kind},
+            sort_keys=True,
+        )
+        line = f'{envelope[:-1]}, "payload": {payload_json}}}\n'
         with self._path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.write(line)
 
     # ------------------------------------------------------------------
     # Core store/lookup
     # ------------------------------------------------------------------
 
-    def _insert(self, digest: str, kind: str, payload: Any) -> None:
-        self._entries[digest] = (kind, payload)
-        self._entries.move_to_end(digest)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+    def _payload_json(self, digest: str, payload: Any) -> Optional[str]:
+        """One canonical serialization, shared by accounting + persistence.
+
+        ``None`` (memory-only caches, non-JSON payload) falls back to a
+        ``repr``-based size; a persistent cache must refuse the entry
+        instead of writing an unreplayable line.
+        """
+        try:
+            return json.dumps(payload, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            if self._path is not None:
+                raise CacheError(
+                    f"payload for {digest!r} is not JSON-serializable: {exc}"
+                ) from exc
+            return None
+
+    def _insert(
+        self, digest: str, kind: str, payload: Any, nbytes: Optional[int] = None
+    ) -> None:
+        old = self._entries.pop(digest, None)
+        if old is not None:
+            self._bytes -= old[2]
+        if nbytes is None:
+            payload_json = self._payload_json(digest, payload)
+            size = len(payload_json) if payload_json is not None else len(repr(payload))
+            nbytes = len(digest) + size
+        self._entries[digest] = (kind, payload, nbytes)
+        self._bytes += nbytes
+        over_budget = (
+            lambda: len(self._entries) > self._capacity
+            or (self._max_bytes is not None and self._bytes > self._max_bytes)
+        )
+        # Trim LRU-first, but never the entry just inserted: an oversized
+        # store still lands (and the file keeps it regardless).
+        while len(self._entries) > 1 and over_budget():
+            _, (_, _, evicted_bytes) = self._entries.popitem(last=False)
+            self._bytes -= evicted_bytes
             self._evictions += 1
 
     def store(self, digest: str, kind: str, payload: Any) -> None:
         """Insert (or overwrite) one entry; persists when a path is set."""
         if kind not in ENTRY_KINDS:
             raise CacheError(f"kind must be one of {ENTRY_KINDS}, got {kind!r}")
+        payload_json = self._payload_json(digest, payload)
+        size = len(payload_json) if payload_json is not None else len(repr(payload))
         with self._lock:
-            self._insert(digest, kind, payload)
+            self._insert(digest, kind, payload, nbytes=len(digest) + size)
             self._stores += 1
             if self._path is not None:
-                self._append_line(digest, kind, payload)
+                self._append_line(digest, kind, payload_json)
 
     def lookup(self, digest: str, kind: Optional[str] = None) -> Optional[Any]:
         """The stored payload for ``digest``, or ``None`` (counted) on miss.
@@ -246,15 +299,18 @@ class ResultCache:
         """Drop every entry, truncating the persistent file if present."""
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
             if self._path is not None and self._path.exists():
                 self._path.write_text("")
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         """Counter snapshot (hits/misses/stores/evictions/stale/loaded/size)."""
         with self._lock:
             return {
                 "entries": len(self._entries),
                 "capacity": self._capacity,
+                "bytes": self._bytes,
+                "max_bytes": self._max_bytes,
                 "hits": self._hits,
                 "misses": self._misses,
                 "stores": self._stores,

@@ -15,7 +15,13 @@ import time
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 from urllib.parse import urlparse
 
-from repro.errors import ServiceError
+from repro.errors import (
+    ServiceConnectionError,
+    ServiceError,
+    ServiceResponseError,
+    SpecRejectedError,
+    UnknownResourceError,
+)
 from repro.service.cache import report_from_doc
 
 if TYPE_CHECKING:  # runtime import stays lazy
@@ -26,8 +32,14 @@ class ServiceClient:
     """JSON client for one service endpoint.
 
     Construct from ``host``/``port`` or :meth:`from_url`.  All methods
-    raise :class:`~repro.errors.ServiceError` on transport failures and
-    non-2xx responses (the server's ``error`` field becomes the message).
+    raise typed :class:`~repro.errors.ServiceError` subclasses:
+    :class:`~repro.errors.ServiceConnectionError` when the server is
+    unreachable mid-request, and for non-2xx responses a
+    :class:`~repro.errors.ServiceResponseError` carrying ``status`` and
+    the server's JSON ``payload`` -- :class:`~repro.errors.SpecRejectedError`
+    for 400 (malformed specs/graphs), :class:`~repro.errors.UnknownResourceError`
+    for 404 (unknown jobs/paths).  The server's ``error`` field becomes
+    the exception message in every case.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0) -> None:
@@ -59,7 +71,7 @@ class ServiceClient:
                 response = conn.getresponse()
                 raw = response.read()
             except (OSError, http.client.HTTPException) as exc:
-                raise ServiceError(
+                raise ServiceConnectionError(
                     f"service request {method} {path} to "
                     f"{self.host}:{self.port} failed: {exc}"
                 ) from exc
@@ -78,9 +90,12 @@ class ServiceClient:
     ) -> Dict[str, Any]:
         status, doc = self._request(method, path, body)
         if status >= 400:
-            raise ServiceError(
-                doc.get("error", f"{method} {path} returned HTTP {status}")
-            )
+            message = doc.get("error", f"{method} {path} returned HTTP {status}")
+            if status == 400:
+                raise SpecRejectedError(message, status=status, payload=doc)
+            if status == 404:
+                raise UnknownResourceError(message, status=status, payload=doc)
+            raise ServiceResponseError(message, status=status, payload=doc)
         return doc
 
     # ------------------------------------------------------------------
@@ -107,9 +122,39 @@ class ServiceClient:
         """``POST /v1/sweeps`` -- returns the job envelope."""
         return self._checked("POST", "/v1/sweeps", spec)
 
+    def submit_runs(self, specs: "list[Dict[str, Any]]") -> "list[Dict[str, Any]]":
+        """``POST /v1/runs:batch`` -- per-item job envelopes, in order.
+
+        Malformed items come back as ``{"error": ...}`` entries at their
+        position; the valid items are submitted (and deduped) normally.
+        """
+        doc = self._checked("POST", "/v1/runs:batch", {"specs": list(specs)})
+        return doc["jobs"]
+
+    def submit_tasks(
+        self,
+        tasks: "list[Dict[str, Any]]",
+        outputs: Optional["list[Any]"] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/tasks`` -- submit a task graph.
+
+        ``tasks`` entries are ``{"kind", "payload", "inputs"}`` documents
+        (inputs by digest or earlier-task index); ``outputs`` defaults to
+        the graph's sinks.  The returned envelope carries the graph
+        digest and a per-node ``tasks`` status map.
+        """
+        body: Dict[str, Any] = {"tasks": list(tasks)}
+        if outputs is not None:
+            body["outputs"] = list(outputs)
+        return self._checked("POST", "/v1/tasks", body)
+
     def job(self, job_id: str) -> Dict[str, Any]:
         """``GET /v1/runs/<id>``."""
         return self._checked("GET", f"/v1/runs/{job_id}")
+
+    def task_job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/tasks/<id>`` -- job envelope with per-node statuses."""
+        return self._checked("GET", f"/v1/tasks/{job_id}")
 
     def wait(
         self, job_id: str, timeout: float = 60.0, poll: float = 0.02

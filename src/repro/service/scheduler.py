@@ -1,9 +1,17 @@
 """Thread-based job scheduler: queue, dedup, batch dispatch, failure isolation.
 
 :class:`JobScheduler` turns the executor stack into a long-lived service
-core.  Submissions are declarative specs (:mod:`repro.service.specs`);
-each becomes a :class:`Job` with the usual lifecycle
+core.  Submissions are declarative specs (:mod:`repro.service.specs`) or
+whole task graphs (:mod:`repro.service.tasks`); each becomes a
+:class:`Job` with the usual lifecycle
 ``queued -> running -> done | failed``.
+
+Task-graph jobs (``kind="graph"``) are scheduled topologically: ready
+``run`` tasks batch through the executor, pure compute kinds run in
+dependency order, per-node statuses are mirrored live onto the job
+(``GET /v1/tasks/<id>``), a failing task poisons only its downstream
+tasks, and a shared :class:`~repro.service.tasks.TaskInflight` registry
+dedups each task digest across concurrently-running graphs.
 
 Three properties make it a *service* rather than a loop:
 
@@ -38,7 +46,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.engine.executor import Executor, SequentialExecutor, get_executor
+from repro.engine.executor import Executor, get_executor
 from repro.errors import ServiceError
 from repro.service.cache import ResultCache, SweepCellCache, report_to_doc
 from repro.service.specs import (
@@ -47,6 +55,13 @@ from repro.service.specs import (
     spec_digest,
     sweep_handles,
     to_run_spec,
+)
+from repro.service.tasks import (
+    TaskGraph,
+    TaskGraphRunner,
+    TaskInflight,
+    graph_digest,
+    initial_statuses,
 )
 
 #: The job lifecycle; ``done``/``failed`` are terminal.
@@ -60,18 +75,22 @@ class Job:
     ``result`` holds the serialized outcome once ``done``: a run-report
     document (:func:`repro.service.cache.report_to_doc`) for run jobs, a
     serialized :class:`~repro.analysis.sweep.SweepResult` document for
-    sweep jobs.  ``cached=True`` marks jobs answered straight from the
-    result cache without computing anything.
+    sweep jobs, and a ``{"tasks", "outputs", "stats"}`` document for
+    task-graph jobs.  ``cached=True`` marks jobs answered straight from
+    the result cache without computing anything.  Graph jobs additionally
+    carry ``nodes`` -- the live per-task status map mirrored into
+    ``GET /v1/tasks/<id>`` while the graph executes.
     """
 
     job_id: str
-    kind: str  # "run" | "sweep"
+    kind: str  # "run" | "sweep" | "graph"
     digest: str
     spec: Dict[str, Any]
     status: str = "queued"
     cached: bool = False
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    nodes: Optional[Dict[str, Dict[str, Any]]] = field(default=None, repr=False)
 
     @property
     def finished(self) -> bool:
@@ -89,6 +108,8 @@ class Job:
             "cached": self.cached,
             "error": self.error,
         }
+        if self.nodes is not None:
+            doc["tasks"] = {d: dict(node) for d, node in self.nodes.items()}
         if include_result:
             doc["result"] = self.result
         return doc
@@ -135,9 +156,9 @@ class JobScheduler:
                 f"max_finished_jobs must be >= 1, got {max_finished_jobs}"
             )
         self._executor: Executor = get_executor(executor)
-        self._fallback = SequentialExecutor()
         self.cache = cache if cache is not None else ResultCache()
         self._cell_cache = SweepCellCache(self.cache)
+        self._task_inflight = TaskInflight()
         self._max_batch = max_batch
         self._workers = workers
         self._cv = threading.Condition()
@@ -194,7 +215,13 @@ class JobScheduler:
     # Submission
     # ------------------------------------------------------------------
 
-    def _submit(self, kind: str, spec: Dict[str, Any], digest: str) -> Job:
+    def _submit(
+        self,
+        kind: str,
+        spec: Dict[str, Any],
+        digest: str,
+        nodes: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> Job:
         with self._cv:
             self._counters["submitted"] += 1
             # In-flight dedup first: it must win over a cache probe so the
@@ -211,10 +238,18 @@ class JobScheduler:
                 job.status = "done"
                 job.cached = True
                 job.result = cached
+                if nodes is not None:  # graph jobs: statuses from the cached run
+                    job.nodes = {
+                        d: dict(node)
+                        for d, node in cached.get("tasks", {}).items()
+                    }
                 self._jobs[job.job_id] = job
                 self._retire(job)
                 self._cv.notify_all()
                 return job
+            # Node statuses must exist before the job is visible to a
+            # worker: an on_update firing against nodes=None would be lost.
+            job.nodes = nodes
             self._jobs[job.job_id] = job
             self._inflight[digest] = job.job_id
             self._queue.append(job.job_id)
@@ -230,6 +265,25 @@ class JobScheduler:
         """Submit one sweep spec; grid cells warm the shared cell cache."""
         spec = canonical_sweep_spec(raw_spec)
         return self._submit("sweep", spec, spec_digest(spec))
+
+    def submit_tasks(self, raw: Dict[str, Any]) -> Job:
+        """Submit a task graph; returns the (possibly pre-existing) job.
+
+        ``raw`` is a graph document: ``{"tasks": [...], "outputs":
+        [...]}`` with inputs referenced by digest or by earlier-task
+        index (see :meth:`repro.service.tasks.TaskGraph.from_doc`).
+        Raises :class:`~repro.errors.TaskError` on malformed graphs --
+        a digest never exists for an invalid graph.
+        """
+        graph, outputs = TaskGraph.from_doc(raw)
+        spec = graph.to_doc()
+        spec["outputs"] = list(outputs)
+        return self._submit(
+            "graph",
+            spec,
+            graph_digest(graph, outputs),
+            nodes=initial_statuses(graph),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -274,15 +328,15 @@ class JobScheduler:
     def _take_group(self) -> List[Job]:
         """Under the lock: pop the next compatible dispatch group.
 
-        The head of the queue fixes the group shape: a sweep job runs
-        alone; a run job pulls every other queued run job that shares its
-        ``(n, backend, max_rounds)`` (up to ``max_batch``), which is
-        exactly the grouping :class:`~repro.engine.executor.BatchExecutor`
-        vectorizes.
+        The head of the queue fixes the group shape: sweep and graph
+        jobs run alone; a run job pulls every other queued run job that
+        shares its ``(n, backend, max_rounds)`` (up to ``max_batch``),
+        which is exactly the grouping
+        :class:`~repro.engine.executor.BatchExecutor` vectorizes.
         """
         head = self._jobs[self._queue.pop(0)]
         head.status = "running"
-        if head.kind == "sweep":
+        if head.kind != "run":
             return [head]
         signature = (head.spec["n"], head.spec["backend"], head.spec["max_rounds"])
         group = [head]
@@ -312,6 +366,8 @@ class JobScheduler:
             try:
                 if group[0].kind == "sweep":
                     self._dispatch_sweep(group[0])
+                elif group[0].kind == "graph":
+                    self._dispatch_graph(group[0])
                 else:
                     self._dispatch_runs(group)
             except Exception as exc:  # a worker thread must never die
@@ -347,25 +403,53 @@ class JobScheduler:
         specs = [to_run_spec(job.spec) for job in group]
         with self._cv:
             self._counters["dispatches"] += 1
-        try:
-            reports = self._executor.run_many(specs)
-        except Exception:
-            # One bad adversary must not fail its batch neighbours: retry
-            # spec-by-spec so exactly the offending jobs record failures.
-            for job, spec in zip(group, specs):
-                try:
-                    report = self._fallback.run(spec)
-                except Exception as exc:
-                    self._finish(job, None, f"{type(exc).__name__}: {exc}")
-                else:
-                    with self._cv:
-                        self._counters["computations"] += 1
-                    self._finish(job, report_to_doc(report), None)
+        # One bad adversary must not fail its batch neighbours: the
+        # settled dispatch retries spec-by-spec on failure so exactly the
+        # offending jobs record errors while the rest complete.
+        for job, outcome in zip(group, self._executor.run_many_settled(specs)):
+            if isinstance(outcome, Exception):
+                self._finish(job, None, f"{type(outcome).__name__}: {outcome}")
+            else:
+                with self._cv:
+                    self._counters["computations"] += 1
+                self._finish(job, report_to_doc(outcome), None)
+
+    def _dispatch_graph(self, job: Job) -> None:
+        with self._cv:
+            self._counters["dispatches"] += 1
+        graph, _ = TaskGraph.from_doc(job.spec)
+        outputs = job.spec["outputs"]
+
+        def on_update(digest: str, node: Dict[str, Any]) -> None:
+            with self._cv:
+                if job.nodes is not None:
+                    job.nodes[digest] = node
+
+        runner = TaskGraphRunner(
+            executor=self._executor,
+            cache=self.cache,
+            inflight=self._task_inflight,
+            on_update=on_update,
+        )
+        run = runner.run(graph, outputs)
+        result = {
+            "tasks": run.statuses,
+            "outputs": {d: run.results.get(d) for d in outputs},
+            "stats": run.stats,
+        }
+        missing = [d for d in outputs if d not in run.results]
+        if missing:
+            errors = {
+                d[:16]: run.statuses[d].get("error") or run.statuses[d]["status"]
+                for d in missing
+            }
+            # The partial result still carries per-node statuses; only
+            # successful graphs are cached (``_finish`` skips on error).
+            self._finish(job, result, f"graph outputs did not complete: {errors}")
             return
         with self._cv:
-            self._counters["computations"] += len(group)
-        for job, report in zip(group, reports):
-            self._finish(job, report_to_doc(report), None)
+            self._counters["computations"] += 1
+        self._finish(job, result, None)
 
     def _dispatch_sweep(self, job: Job) -> None:
         with self._cv:

@@ -6,16 +6,22 @@ thread per connection, stdlib only -- no framework dependency) around a
 
 Endpoints
 ---------
-=====================  ====================================================
-``GET /healthz``        liveness: ``{"status": "ok", "version": ...}``
-``GET /metrics``        scheduler + cache counters (JSON)
-``GET /v1/specs``       the adversary registry (names, params, defaults)
-``POST /v1/runs``       submit a run spec -> ``{"job_id", "status", ...}``
-``POST /v1/sweeps``     submit a sweep spec -> same job envelope
-``GET /v1/runs/<id>``   job state (+ serialized result when ``done``)
-``GET /v1/sweeps/<id>`` alias of ``GET /v1/runs/<id>``
-``POST /v1/shutdown``   acknowledge, then stop the server gracefully
-=====================  ====================================================
+======================  ====================================================
+``GET /healthz``         liveness: ``{"status": "ok", "version": ...}``
+``GET /metrics``         scheduler + cache counters (JSON)
+``GET /v1/specs``        adversary registry + task kinds (names, params)
+``POST /v1/runs``        submit a run spec -> ``{"job_id", "status", ...}``
+``POST /v1/runs:batch``  submit ``{"specs": [...]}`` -> ``{"jobs": [...]}``
+                         (per-item job ids/digests in order; invalid items
+                         get ``{"error": ...}`` without failing the batch)
+``POST /v1/sweeps``      submit a sweep spec -> same job envelope
+``POST /v1/tasks``       submit a task graph ``{"tasks": [...], "outputs":
+                         [...]}`` -> job envelope with per-node statuses
+``GET /v1/runs/<id>``    job state (+ serialized result when ``done``)
+``GET /v1/sweeps/<id>``  alias of ``GET /v1/runs/<id>``
+``GET /v1/tasks/<id>``   alias with live per-node task statuses
+``POST /v1/shutdown``    acknowledge, then stop the server gracefully
+======================  ====================================================
 
 Request bodies are bare spec documents (``{"adversary": ..., "n": ...}``);
 invalid specs come back as ``400 {"error": ...}``, unknown jobs as 404.
@@ -39,6 +45,7 @@ from repro.errors import ServiceError, SpecError
 from repro.service.cache import ResultCache
 from repro.service.scheduler import JobScheduler
 from repro.service.specs import describe_registry
+from repro.service.tasks import describe_task_kinds
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -89,9 +96,15 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self.scheduler.metrics())
             return
         if path == "/v1/specs":
-            self._send_json(200, {"adversaries": describe_registry()})
+            self._send_json(
+                200,
+                {
+                    "adversaries": describe_registry(),
+                    "task_kinds": describe_task_kinds(),
+                },
+            )
             return
-        for prefix in ("/v1/runs/", "/v1/sweeps/"):
+        for prefix in ("/v1/runs/", "/v1/sweeps/", "/v1/tasks/"):
             if path.startswith(prefix):
                 job_id = path[len(prefix):]
                 try:
@@ -109,19 +122,50 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"status": "shutting-down"})
             self.server.owner.stop_async()  # type: ignore[attr-defined]
             return
-        if path not in ("/v1/runs", "/v1/sweeps"):
+        if path == "/v1/runs:batch":
+            self._post_runs_batch()
+            return
+        if path not in ("/v1/runs", "/v1/sweeps", "/v1/tasks"):
             self._send_json(404, {"error": f"unknown path {path!r}"})
             return
         try:
             spec = self._read_json()
             if path == "/v1/runs":
                 job = self.scheduler.submit_run(spec)
-            else:
+            elif path == "/v1/sweeps":
                 job = self.scheduler.submit_sweep(spec)
+            else:
+                job = self.scheduler.submit_tasks(spec)
         except SpecError as exc:
             self._send_json(400, {"error": str(exc)})
             return
         self._send_json(202, job.to_doc(include_result=job.finished))
+
+    def _post_runs_batch(self) -> None:
+        """``POST /v1/runs:batch``: per-item envelopes, in submission order.
+
+        Each spec is submitted independently -- a malformed item becomes
+        an ``{"error": ...}`` entry at its position while the valid items
+        still enqueue (and dedup) exactly as single submissions would.
+        """
+        try:
+            body = self._read_json()
+        except SpecError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        specs = body.get("specs")
+        if not isinstance(specs, list) or not specs:
+            self._send_json(400, {"error": "'specs' must be a non-empty list"})
+            return
+        jobs = []
+        for spec in specs:
+            try:
+                job = self.scheduler.submit_run(spec)
+            except SpecError as exc:
+                jobs.append({"error": str(exc)})
+            else:
+                jobs.append(job.to_doc(include_result=False))
+        self._send_json(202, {"jobs": jobs})
 
 
 class ServiceServer:
@@ -140,6 +184,10 @@ class ServiceServer:
     cache_path:
         JSONL persistence path for the built cache (ignored when a cache
         instance is passed).
+    cache_max_bytes:
+        Optional byte budget for the built cache's memory tier (ignored
+        when a cache instance is passed); totals are visible in
+        ``/metrics`` under ``cache.bytes``.
     scheduler_workers:
         Worker threads draining the job queue.
 
@@ -157,10 +205,13 @@ class ServiceServer:
         cache: Optional[ResultCache] = None,
         cache_path: Optional[str] = None,
         cache_capacity: int = 4096,
+        cache_max_bytes: Optional[int] = None,
         scheduler_workers: int = 1,
     ) -> None:
         if cache is None:
-            cache = ResultCache(path=cache_path, capacity=cache_capacity)
+            cache = ResultCache(
+                path=cache_path, capacity=cache_capacity, max_bytes=cache_max_bytes
+            )
         self.scheduler = JobScheduler(
             executor=executor, cache=cache, workers=scheduler_workers
         )

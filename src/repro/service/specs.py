@@ -519,6 +519,18 @@ def portfolio_handles(
 # ----------------------------------------------------------------------
 
 
+def _static_star_factory(n: int) -> AdversaryProtocol:
+    """The star centered at 0, repeated forever (``t* = 1``).
+
+    Module-level so the spec registry entry is spawn-safe; used by the
+    E4 baseline experiment's declarative run grid.
+    """
+    from repro.adversaries.oblivious import StaticTreeAdversary
+    from repro.trees.generators import star
+
+    return StaticTreeAdversary(star(n), name="StaticStar")
+
+
 def _register_builtins() -> None:
     from repro.adversaries.beam import BeamSearchAdversary
     from repro.adversaries.greedy import GreedyDelayAdversary
@@ -541,6 +553,11 @@ def _register_builtins() -> None:
         "static-path",
         StaticPathAdversary,
         description="repeat the identity path; t* = n - 1 exactly",
+    )
+    register_adversary(
+        "static-star",
+        _static_star_factory,
+        description="repeat the star centered at 0; t* = 1 exactly",
     )
     register_adversary(
         "alternating-path",

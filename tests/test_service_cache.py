@@ -116,6 +116,57 @@ class TestCacheMechanics:
         assert cache.lookup("d", kind="run") is None
         assert cache.stats()["misses"] == 1
 
+    def test_byte_budget_evicts_lru_first(self):
+        """Satellite: ResultCache(max_bytes=...) alongside the entry LRU."""
+        cache = ResultCache(max_bytes=200)
+        payload = {"blob": "x" * 50}  # ~60 accounted bytes + digest
+        for i in range(4):
+            cache.store(f"byte{i}", "cell", dict(payload))
+        stats = cache.stats()
+        assert stats["max_bytes"] == 200
+        assert 0 < stats["bytes"] <= 200
+        assert stats["evictions"] >= 1
+        assert "byte0" not in cache  # oldest fell to the byte budget
+        assert "byte3" in cache
+
+    def test_byte_accounting_tracks_inserts_and_evictions(self):
+        cache = ResultCache()
+        assert cache.stats()["bytes"] == 0
+        cache.store("a", "cell", {"t_star": 1})
+        one = cache.stats()["bytes"]
+        assert one > 0
+        cache.store("b", "cell", {"t_star": 2})
+        assert cache.stats()["bytes"] > one
+        # Overwriting re-accounts instead of double-counting.
+        cache.store("a", "cell", {"t_star": 1})
+        cache.store("a", "cell", {"t_star": 1})
+        two = cache.stats()["bytes"]
+        cache.clear()
+        assert cache.stats()["bytes"] == 0 and two > 0
+
+    def test_oversized_entry_still_lands(self):
+        """An entry bigger than the whole budget must not silently vanish."""
+        cache = ResultCache(max_bytes=16)
+        cache.store("huge", "cell", {"blob": "y" * 500})
+        assert "huge" in cache
+        assert cache.lookup("huge") == {"blob": "y" * 500}
+        # The next store evicts the oversized one, not itself.
+        cache.store("tiny", "cell", {"t_star": 1})
+        assert "tiny" in cache and "huge" not in cache
+
+    def test_byte_budget_validation(self):
+        with pytest.raises(CacheError, match="max_bytes"):
+            ResultCache(max_bytes=0)
+
+    def test_eviction_never_trims_the_file(self, tmp_path):
+        path = tmp_path / "budget.jsonl"
+        cache = ResultCache(path=path, max_bytes=150)
+        for i in range(5):
+            cache.store(f"k{i}", "cell", {"blob": "z" * 40})
+        assert len(cache) < 5  # memory tier trimmed
+        reopened = ResultCache(path=path)
+        assert len(reopened) == 5  # the file kept the full history
+
     def test_persistence_round_trip_later_lines_win(self, tmp_path):
         path = tmp_path / "cache.jsonl"
         first = ResultCache(path=path)

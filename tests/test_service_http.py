@@ -15,7 +15,12 @@ import threading
 import pytest
 
 from repro.engine.executor import SequentialExecutor
-from repro.errors import ServiceError
+from repro.errors import (
+    ServiceConnectionError,
+    ServiceError,
+    SpecRejectedError,
+    UnknownResourceError,
+)
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceServer
 from repro.service.specs import spec_digest, to_run_spec
@@ -88,6 +93,117 @@ def test_error_envelopes(service):
     assert status == 404 and "error" in doc
     status, _ = client._request("POST", "/v1/runs")  # empty body
     assert status == 400
+
+
+class TestTypedClientErrors:
+    """Satellite: ServiceError subclasses carry HTTP status + payload."""
+
+    def test_malformed_spec_raises_spec_rejected(self, service):
+        _, client = service
+        with pytest.raises(SpecRejectedError, match="unknown adversary") as info:
+            client.submit_run({"adversary": "no-such", "n": 8})
+        assert info.value.status == 400
+        assert "unknown adversary" in info.value.payload["error"]
+        assert isinstance(info.value, ServiceError)  # old handlers still work
+
+    def test_malformed_graph_raises_spec_rejected(self, service):
+        _, client = service
+        with pytest.raises(SpecRejectedError, match="unknown task kind"):
+            client.submit_tasks([{"kind": "no-such", "payload": {}}])
+
+    def test_unknown_id_raises_unknown_resource(self, service):
+        _, client = service
+        with pytest.raises(UnknownResourceError, match="unknown job id") as info:
+            client.job("job-424242")
+        assert info.value.status == 404
+        with pytest.raises(UnknownResourceError):
+            client.task_job("job-424242")
+        with pytest.raises(UnknownResourceError, match="unknown path"):
+            client._checked("GET", "/v1/nope")
+
+    def test_connection_refused_raises_connection_error(self):
+        # Bind an ephemeral port, close it, then talk to the dead socket.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient("127.0.0.1", port, timeout=2.0)
+        with pytest.raises(ServiceConnectionError, match="failed"):
+            client.healthz()
+
+
+class TestBatchSubmission:
+    """Satellite: POST /v1/runs:batch, per-item envelopes in order."""
+
+    def test_batch_returns_per_item_jobs_in_order(self, service):
+        _, client = service
+        specs = [
+            {"adversary": "static-path", "n": 9},
+            {"adversary": "rotating-path", "n": 9, "params": {"shift": 2}},
+            {"adversary": "runner", "n": 9},
+        ]
+        jobs = client.submit_runs(specs)
+        assert len(jobs) == 3
+        assert [j["spec"]["adversary"] for j in jobs] == [
+            "static-path", "rotating-path", "runner",
+        ]
+        assert [j["digest"] for j in jobs] == [spec_digest(s) for s in specs]
+        expected = {
+            j["digest"]: SequentialExecutor().run(to_run_spec(s)).t_star
+            for j, s in zip(jobs, specs)
+        }
+        for job in jobs:
+            done = client.wait(job["job_id"], timeout=60)
+            assert done["status"] == "done"
+            assert done["result"]["t_star"] == expected[job["digest"]]
+
+    def test_invalid_items_error_in_place_without_failing_batch(self, service):
+        _, client = service
+        jobs = client.submit_runs(
+            [
+                {"adversary": "static-path", "n": 7},
+                {"adversary": "no-such", "n": 7},
+                {"adversary": "runner"},  # missing n
+                {"adversary": "runner", "n": 7},
+            ]
+        )
+        assert "job_id" in jobs[0] and "job_id" in jobs[3]
+        assert "unknown adversary" in jobs[1]["error"] and "job_id" not in jobs[1]
+        assert "missing 'n'" in jobs[2]["error"]
+        assert client.wait(jobs[3]["job_id"], timeout=60)["status"] == "done"
+
+    def test_batch_dedups_against_single_submissions(self, service):
+        _, client = service
+        spec = {"adversary": "static-path", "n": 11}
+        single = client.wait(client.submit_run(spec)["job_id"], timeout=60)
+        [job] = client.submit_runs([dict(spec)])
+        assert job["digest"] == single["digest"]
+        done = client.wait(job["job_id"], timeout=60)
+        assert done["cached"] is True
+        assert client.metrics()["computations"] == 1
+
+    def test_empty_batch_rejected(self, service):
+        _, client = service
+        with pytest.raises(SpecRejectedError, match="non-empty"):
+            client.submit_runs([])
+
+
+def test_specs_endpoint_lists_task_kinds(service):
+    _, client = service
+    doc = client.specs()
+    assert "run" in doc["task_kinds"]
+    assert "experiment" in doc["task_kinds"]
+    assert doc["task_kinds"]["run"]["codec"] == "run-report"
+
+
+def test_metrics_report_cache_bytes(service):
+    _, client = service
+    client.wait(client.submit_run({"adversary": "runner", "n": 8})["job_id"], timeout=60)
+    cache_stats = client.metrics()["cache"]
+    assert cache_stats["bytes"] > 0
+    assert "max_bytes" in cache_stats
 
 
 def test_sweeps_alias_and_job_envelope(service):
