@@ -15,13 +15,33 @@ real per-round work while "warm" is one digest lookup per request.
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.tables import format_table
 from repro.service.client import ServiceClient
 from repro.service.server import ServiceServer
+
+#: Measurements are persisted here (merged key-by-key) so CI can archive
+#: service throughput next to the printed tables.
+RESULTS_PATH = Path(__file__).with_name("BENCH_service.json")
+
+
+def _persist(key: str, payload: dict) -> None:
+    """Merge one measurement into ``BENCH_service.json`` (best effort)."""
+    try:
+        existing = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    existing[key] = payload
+    RESULTS_PATH.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 #: Four distinct digests per n: the sorted-path parameter square.
 SPEC_PARAMS = [
@@ -61,6 +81,16 @@ def test_http_requests_per_second_cold_vs_warm(n, capsys):
         metrics = client.metrics()
     assert metrics["computations"] == len(specs)  # warm passes computed nothing
     speedup = t_cold / max(t_warm, 1e-9)
+    _persist(
+        f"http_cold_vs_warm_n{n}",
+        {
+            "n": n,
+            "requests": len(specs),
+            "cold_req_per_s": len(specs) / t_cold,
+            "warm_req_per_s": len(specs) / t_warm,
+            "warm_speedup": speedup,
+        },
+    )
     rows = [
         (
             n,
@@ -115,6 +145,16 @@ def test_experiment_task_graph_cold_vs_warm(capsys):
         assert warm.stats["runs_computed"] == 0
         assert warm_table.render() == cold_table.render()
         speedups[eid] = t_cold / max(t_warm, 1e-9)
+        _persist(
+            f"experiment_{eid}_cold_vs_warm",
+            {
+                "tasks": cold.stats["tasks"],
+                "runs_computed": cold.stats["runs_computed"],
+                "cold_s": t_cold,
+                "warm_s": t_warm,
+                "warm_speedup": speedups[eid],
+            },
+        )
         rows.append(
             (
                 eid,

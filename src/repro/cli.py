@@ -392,6 +392,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_capacity=args.cache_capacity,
             cache_max_bytes=args.cache_max_bytes,
             scheduler_workers=args.jobs,
+            journal=args.journal,
         )
     except OSError as exc:  # bind failure: port in use, bad host, ...
         print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
@@ -404,6 +405,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.cache:
         print(f"result cache persisted to {args.cache}")
+    if args.journal:
+        # Recover eagerly (idempotent -- start() would otherwise do it)
+        # so the banner can report how much of the journal came back.
+        recovered = server.scheduler.recover()
+        print(f"job journal at {args.journal} ({recovered} jobs recovered)")
     # SIGTERM (systemd, CI, `kill`) stops as gracefully as Ctrl-C; SIGINT
     # keeps its KeyboardInterrupt default, which serve_forever handles.
     signal.signal(signal.SIGTERM, lambda signum, frame: server.stop_async())
@@ -536,23 +542,36 @@ def cmd_task_submit(args: argparse.Namespace) -> int:
 
 
 def cmd_task_status(args: argparse.Namespace) -> int:
-    """Per-node status (and results when done) of a task-graph job."""
+    """Per-node status (and results when done) of a task-graph job.
+
+    With ``--watch`` the command long-polls the service and reprints the
+    status on every update (node transitions included) until the job is
+    terminal -- push updates, not sampling.
+    """
     from repro.errors import ServiceError
     from repro.service.client import ServiceClient
 
+    client = ServiceClient.from_url(args.url)
     try:
-        doc = ServiceClient.from_url(args.url).task_job(args.job_id)
+        if args.watch:
+            doc = None
+            for doc in client.watch(args.job_id, timeout=args.timeout):
+                _print_task_job(doc)
+            assert doc is not None  # watch always yields at least once
+        else:
+            doc = client.task_job(args.job_id)
+            _print_task_job(doc)
     except ServiceError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    _print_task_job(doc)
     if doc["status"] == "done":
         _print_task_outputs(doc)
     return 1 if doc["status"] == "failed" else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect (``stats``) or truncate (``clear``) a persistent cache."""
+    """Inspect (``stats``), rewrite (``compact``), or truncate (``clear``)
+    a persistent cache."""
     from repro.analysis.tables import format_table
     from repro.service.cache import ResultCache
 
@@ -561,6 +580,13 @@ def cmd_cache(args: argparse.Namespace) -> int:
         before = len(cache)
         cache.clear()
         print(f"cleared {before} entries from {args.path}")
+        return 0
+    if args.action == "compact":
+        report = cache.compact()
+        print(
+            f"compacted {args.path}: {report['before_bytes']} -> "
+            f"{report['after_bytes']} bytes ({report['entries']} live entries)"
+        )
         return 0
     rows = sorted(cache.stats().items())
     print(format_table(["counter", "value"], rows, title=f"Cache {args.path}"))
@@ -750,6 +776,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="scheduler worker threads (default: 1; batching is the lever)",
     )
+    p.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persist a job journal to this JSONL file and recover from it "
+            "on startup (pair with --cache so resumed task graphs "
+            "recompute only never-finished nodes)"
+        ),
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -810,12 +846,20 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--url", default="http://127.0.0.1:8642", help="service base URL"
     )
+    ps.add_argument(
+        "--watch",
+        action="store_true",
+        help="long-poll and reprint on every update until the job finishes",
+    )
+    ps.add_argument(
+        "--timeout", type=float, default=600.0, help="--watch deadline in seconds"
+    )
     ps.set_defaults(func=cmd_task_status)
 
     p = sub.add_parser(
-        "cache", help="inspect or clear a persistent result cache"
+        "cache", help="inspect, compact, or clear a persistent result cache"
     )
-    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("action", choices=["stats", "compact", "clear"])
     p.add_argument("--path", required=True, help="JSONL cache file")
     p.set_defaults(func=cmd_cache)
 

@@ -25,14 +25,16 @@ which subsystem rejected the input:
   :class:`SpecError` so spec-rejection handling covers both.
 * :class:`CacheError` -- a result-cache store or entry was malformed or
   misused (see :mod:`repro.service.cache`).
+* :class:`JournalError` -- the persistent job journal is malformed or
+  unreadable (see :mod:`repro.service.journal`).
 * :class:`ServiceError` -- the simulation service (scheduler / HTTP API /
   client) was misused or returned a failure.  The client raises typed
   subclasses carrying transport context: :class:`ServiceConnectionError`
   (the server was unreachable mid-request) and
   :class:`ServiceResponseError` (a non-2xx response; ``status`` and the
   server's JSON ``payload`` are attached), itself specialized into
-  :class:`SpecRejectedError` (400) and :class:`UnknownResourceError`
-  (404).
+  :class:`SpecRejectedError` (400), :class:`PayloadTooLargeError` (413),
+  and :class:`UnknownResourceError` (404).
 """
 
 from __future__ import annotations
@@ -102,6 +104,10 @@ class CacheError(ReproError, ValueError):
     """A result-cache entry or store is malformed or was misused."""
 
 
+class JournalError(ReproError, ValueError):
+    """The persistent job journal is malformed or could not be replayed."""
+
+
 class ServiceError(ReproError, RuntimeError):
     """The simulation service (scheduler/HTTP/client) failed or was misused."""
 
@@ -132,6 +138,10 @@ class ServiceResponseError(ServiceError):
 
 class SpecRejectedError(ServiceResponseError):
     """The service rejected a submitted spec or task graph (HTTP 400)."""
+
+
+class PayloadTooLargeError(ServiceResponseError):
+    """The request body exceeded the server's configured cap (HTTP 413)."""
 
 
 class UnknownResourceError(ServiceResponseError):

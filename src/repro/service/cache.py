@@ -17,7 +17,12 @@ The in-memory tier is a bounded LRU (``capacity`` entries, recency updated
 on hit).  The optional persistent tier is an append-only JSONL file:
 every store appends one self-describing line, and opening a cache replays
 the file (later lines win).  Eviction only trims the memory tier -- the
-file keeps the full history, so a reopened cache sees everything.
+file keeps the full history until :meth:`ResultCache.compact` rewrites it
+(atomically, temp file + rename) down to exactly the live entries.
+Compaction runs on demand (``repro-broadcast cache compact``) and
+automatically once byte-budget evictions have orphaned more than one full
+budget's worth of file bytes, so a long-lived byte-capped server's cache
+file stays bounded instead of growing forever.
 
 Versioning
 ----------
@@ -35,6 +40,7 @@ the scheduler's worker threads and the HTTP server's handler threads.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -164,8 +170,24 @@ class ResultCache:
         self._evictions = 0
         self._stale_rejected = 0
         self._loaded = 0
+        self._compactions = 0
+        self._evicted_bytes_since_compact = 0
+        self._replaying = False
         if self._path is not None and self._path.exists():
-            self._replay()
+            if self._path.stat().st_size > 0:
+                raw = self._path.read_bytes()
+                if not raw.endswith(b"\n"):
+                    # A process killed mid-append leaves a torn final
+                    # line; the entry was never acknowledged, so drop it
+                    # rather than fail every future replay (and keep new
+                    # appends off the fragment).
+                    with self._path.open("r+b") as fh:
+                        fh.truncate(raw.rfind(b"\n") + 1)
+            self._replaying = True
+            try:
+                self._replay()
+            finally:
+                self._replaying = False
 
     # ------------------------------------------------------------------
     # Persistence
@@ -202,7 +224,8 @@ class ResultCache:
                 self._insert(digest, kind, payload)
                 self._loaded += 1
 
-    def _append_line(self, digest: str, kind: str, payload_json: str) -> None:
+    @staticmethod
+    def _entry_line(digest: str, kind: str, payload_json: str) -> str:
         # The payload is already serialized (shared with byte accounting);
         # splice it into the envelope rather than serializing twice.  Keys
         # stay in sorted order ("payload" sorts last), so the line is
@@ -211,9 +234,45 @@ class ResultCache:
             {"digest": digest, "format_version": CACHE_FORMAT_VERSION, "kind": kind},
             sort_keys=True,
         )
-        line = f'{envelope[:-1]}, "payload": {payload_json}}}\n'
+        return f'{envelope[:-1]}, "payload": {payload_json}}}\n'
+
+    def _append_line(self, digest: str, kind: str, payload_json: str) -> None:
         with self._path.open("a", encoding="utf-8") as fh:
-            fh.write(line)
+            fh.write(self._entry_line(digest, kind, payload_json))
+
+    def compact(self) -> Dict[str, int]:
+        """Atomically rewrite the file down to exactly the live entries.
+
+        The append-only file otherwise accumulates every overwritten,
+        evicted, and stale-version line forever.  The rewrite goes
+        through a temp file in the same directory + ``os.replace``, so a
+        crash mid-compaction leaves the old complete file; a reload of
+        the compacted file reconstructs the live memory tier exactly
+        (entries in insertion order, later-lines-win replay preserved).
+
+        Returns ``{"before_bytes", "after_bytes", "entries"}``.  Raises
+        :class:`CacheError` for memory-only caches.
+        """
+        if self._path is None:
+            raise CacheError("compact() requires a cache with a persistence path")
+        with self._lock:
+            before = self._path.stat().st_size if self._path.exists() else 0
+            tmp = self._path.with_name(self._path.name + ".compact.tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                for digest, (kind, payload, _) in self._entries.items():
+                    payload_json = self._payload_json(digest, payload)
+                    fh.write(self._entry_line(digest, kind, payload_json))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self._path)
+            after = self._path.stat().st_size
+            self._compactions += 1
+            self._evicted_bytes_since_compact = 0
+            return {
+                "before_bytes": before,
+                "after_bytes": after,
+                "entries": len(self._entries),
+            }
 
     # ------------------------------------------------------------------
     # Core store/lookup
@@ -257,6 +316,7 @@ class ResultCache:
             _, (_, _, evicted_bytes) = self._entries.popitem(last=False)
             self._bytes -= evicted_bytes
             self._evictions += 1
+            self._evicted_bytes_since_compact += evicted_bytes
 
     def store(self, digest: str, kind: str, payload: Any) -> None:
         """Insert (or overwrite) one entry; persists when a path is set."""
@@ -269,6 +329,14 @@ class ResultCache:
             self._stores += 1
             if self._path is not None:
                 self._append_line(digest, kind, payload_json)
+                # Auto-compaction: once byte-budget evictions have
+                # orphaned more than one full budget's worth of file
+                # bytes, rewrite the file (the lock is re-entrant).
+                if (
+                    self._max_bytes is not None
+                    and self._evicted_bytes_since_compact > self._max_bytes
+                ):
+                    self.compact()
 
     def lookup(self, digest: str, kind: Optional[str] = None) -> Optional[Any]:
         """The stored payload for ``digest``, or ``None`` (counted) on miss.
@@ -300,6 +368,7 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
             self._bytes = 0
+            self._evicted_bytes_since_compact = 0
             if self._path is not None and self._path.exists():
                 self._path.write_text("")
 
@@ -317,6 +386,12 @@ class ResultCache:
                 "evictions": self._evictions,
                 "stale_rejected": self._stale_rejected,
                 "loaded_from_disk": self._loaded,
+                "compactions": self._compactions,
+                "file_bytes": (
+                    self._path.stat().st_size
+                    if self._path is not None and self._path.exists()
+                    else 0
+                ),
             }
 
     # ------------------------------------------------------------------

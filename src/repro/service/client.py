@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import time
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro.errors import (
+    PayloadTooLargeError,
     ServiceConnectionError,
     ServiceError,
     ServiceResponseError,
@@ -34,12 +36,17 @@ class ServiceClient:
     Construct from ``host``/``port`` or :meth:`from_url`.  All methods
     raise typed :class:`~repro.errors.ServiceError` subclasses:
     :class:`~repro.errors.ServiceConnectionError` when the server is
-    unreachable mid-request, and for non-2xx responses a
-    :class:`~repro.errors.ServiceResponseError` carrying ``status`` and
-    the server's JSON ``payload`` -- :class:`~repro.errors.SpecRejectedError`
-    for 400 (malformed specs/graphs), :class:`~repro.errors.UnknownResourceError`
+    unreachable mid-request *or stalls past the socket timeout*, and for
+    non-2xx responses a :class:`~repro.errors.ServiceResponseError`
+    carrying ``status`` and the server's JSON ``payload`` --
+    :class:`~repro.errors.SpecRejectedError` for 400 (malformed
+    specs/graphs), :class:`~repro.errors.PayloadTooLargeError` for 413
+    (body over the server's cap), :class:`~repro.errors.UnknownResourceError`
     for 404 (unknown jobs/paths).  The server's ``error`` field becomes
     the exception message in every case.
+
+    ``timeout`` (default 30 s) bounds every socket operation -- connect,
+    send, and each read -- so a hung server can never hang the client.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0) -> None:
@@ -60,9 +67,14 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
     ) -> Tuple[int, Dict[str, Any]]:
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        effective = self.timeout if timeout is None else timeout
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=effective)
         try:
             payload = None if body is None else json.dumps(body)
             headers = {"Content-Type": "application/json"} if payload else {}
@@ -70,6 +82,13 @@ class ServiceClient:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
+            except socket.timeout as exc:
+                # A stalled (not merely unreachable) server: name the
+                # deadline so callers can tell hang from refusal.
+                raise ServiceConnectionError(
+                    f"service request {method} {path} to "
+                    f"{self.host}:{self.port} timed out after {effective}s"
+                ) from exc
             except (OSError, http.client.HTTPException) as exc:
                 raise ServiceConnectionError(
                     f"service request {method} {path} to "
@@ -86,15 +105,21 @@ class ServiceClient:
             conn.close()
 
     def _checked(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
-        status, doc = self._request(method, path, body)
+        status, doc = self._request(method, path, body, timeout=timeout)
         if status >= 400:
             message = doc.get("error", f"{method} {path} returned HTTP {status}")
             if status == 400:
                 raise SpecRejectedError(message, status=status, payload=doc)
             if status == 404:
                 raise UnknownResourceError(message, status=status, payload=doc)
+            if status == 413:
+                raise PayloadTooLargeError(message, status=status, payload=doc)
             raise ServiceResponseError(message, status=status, payload=doc)
         return doc
 
@@ -175,6 +200,47 @@ class ServiceClient:
                     f"job {job_id} still {doc['status']!r} after {timeout}s"
                 )
             time.sleep(poll)
+
+    def watch(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_timeout: float = 10.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield task-job documents as they change, until terminal.
+
+        Long-polls ``GET /v1/tasks/<id>?watch=<version>`` -- the server
+        holds each request until the job's update version moves (any
+        status or per-node transition), so watchers see pushes rather
+        than sampling.  The first yield is the current state; the last
+        is the terminal (``done``/``failed``) document.
+
+        ``poll_timeout`` bounds each server-side hold; ``timeout`` (when
+        given) bounds the whole watch and raises
+        :class:`~repro.errors.ServiceError` if the job is still
+        unfinished when it passes.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        version = -1
+        while True:
+            hold = poll_timeout
+            if deadline is not None:
+                hold = max(0.0, min(hold, deadline - time.monotonic()))
+            doc = self._checked(
+                "GET",
+                f"/v1/tasks/{job_id}?watch={version}&timeout={hold}",
+                # The socket must outlive the server-side hold.
+                timeout=hold + self.timeout,
+            )
+            if doc.get("version", 0) != version:
+                version = doc.get("version", 0)
+                yield doc
+            if doc["status"] in ("done", "failed"):
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {doc['status']!r} after {timeout}s of watching"
+                )
 
     def run_report(self, job_doc: Dict[str, Any]) -> "RunReport":
         """Deserialize a ``done`` run job's result into a :class:`RunReport`."""

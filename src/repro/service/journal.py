@@ -1,0 +1,292 @@
+"""Persistent job journal: append-only JSONL + restart recovery.
+
+:class:`JobJournal` is the durability layer under the
+:class:`~repro.service.scheduler.JobScheduler`.  Every job submission is
+recorded with its **full spec payload** (run spec, sweep spec, or whole
+task-graph document) keyed by job id and content digest, and every state
+transition (``queued -> running -> done | failed | interrupted``) appends
+one line.  The file is flushed per record, so a server killed with
+``SIGKILL`` loses at most the line being written -- a torn final line is
+tolerated (and repaired) on the next open.
+
+Recovery is the scheduler's job (:meth:`JobScheduler.recover`): it calls
+:meth:`replay` to fold the journal into one
+:class:`JournalEntry` per job (latest state wins), re-resolves terminal
+jobs from the content-addressed result cache, and re-enqueues the
+unfinished frontier.  The journal records *job identity and lifecycle*
+only -- results never live here.  They live in the
+:class:`~repro.service.cache.ResultCache`, which is exactly what makes a
+resumed task graph recompute only its never-finished nodes.
+
+:meth:`compact` drops fully-terminal jobs (``done``/``failed``): their
+lifecycle is over and their results are reachable through the cache, so
+keeping their lines only grows the file.  The rewrite is atomic
+(temp file + ``os.replace``) and preserves every non-terminal job as a
+``submit`` line plus one latest-state line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import JournalError
+
+#: Bump when the journal line layout changes; mismatched lines are
+#: rejected at replay (recovery must never act on misread lifecycles).
+JOURNAL_FORMAT_VERSION = 1
+
+#: States with no further transitions; compaction drops jobs that
+#: reached one (``interrupted`` is *not* terminal -- it is the state
+#: recovery exists for).
+TERMINAL_STATES = ("done", "failed")
+
+
+@dataclass
+class JournalEntry:
+    """One job's folded journal state: identity + latest lifecycle."""
+
+    job_id: str
+    kind: str
+    digest: str
+    spec: Dict[str, Any]
+    status: str = "queued"
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        """True when no recovery action is needed (``done``/``failed``)."""
+        return self.status in TERMINAL_STATES
+
+
+class JobJournal:
+    """Append-only JSONL job journal with atomic compaction.
+
+    Parameters
+    ----------
+    path:
+        The journal file; created (with parent directories) if missing.
+        An existing file that does not end in a newline -- the signature
+        of a ``kill -9`` mid-write -- is repaired by truncating the torn
+        partial record (it was never acknowledged), so new records never
+        concatenate onto it.
+
+    All methods are thread-safe (scheduler worker threads and HTTP
+    handler threads both write).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        self._lock = threading.Lock()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        if self._path.exists() and self._path.stat().st_size > 0:
+            raw = self._path.read_bytes()
+            if not raw.endswith(b"\n"):
+                # A SIGKILL mid-write leaves a torn, unacknowledged final
+                # record; drop it so appends never concatenate onto it.
+                with self._path.open("r+b") as fh:
+                    fh.truncate(raw.rfind(b"\n") + 1)
+        self._fh = self._path.open("a", encoding="utf-8")
+
+    @property
+    def path(self) -> Path:
+        """The journal file path."""
+        return self._path
+
+    @property
+    def nbytes(self) -> int:
+        """Current on-disk size in bytes (the ``journal_bytes`` metric)."""
+        with self._lock:
+            self._fh.flush()
+            try:
+                return self._path.stat().st_size
+            except OSError:
+                return 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def _append(self, doc: Dict[str, Any]) -> None:
+        line = json.dumps(doc, sort_keys=True)
+        with self._lock:
+            self._fh.write(line + "\n")
+            # Flush per record: an OS-level buffer survives SIGKILL of
+            # the process, so a killed server loses nothing it recorded.
+            self._fh.flush()
+
+    def record_submit(
+        self, job_id: str, kind: str, digest: str, spec: Dict[str, Any]
+    ) -> None:
+        """Record one submission with its full spec payload."""
+        self._append(
+            {
+                "format_version": JOURNAL_FORMAT_VERSION,
+                "event": "submit",
+                "job_id": job_id,
+                "kind": kind,
+                "digest": digest,
+                "spec": spec,
+            }
+        )
+
+    def record_state(
+        self, job_id: str, status: str, error: Optional[str] = None
+    ) -> None:
+        """Record one lifecycle transition (``error`` only for failures)."""
+        doc: Dict[str, Any] = {
+            "format_version": JOURNAL_FORMAT_VERSION,
+            "event": "state",
+            "job_id": job_id,
+            "status": status,
+        }
+        if error is not None:
+            doc["error"] = error
+        self._append(doc)
+
+    # ------------------------------------------------------------------
+    # Replay + compaction
+    # ------------------------------------------------------------------
+
+    def replay(self) -> "OrderedDict[str, JournalEntry]":
+        """Fold the journal into one entry per job, submission-ordered.
+
+        Later ``state`` lines win.  ``state`` lines for unknown job ids
+        (their ``submit`` line fell to a torn write) are ignored.  A
+        malformed *final* line is tolerated -- that is what a ``SIGKILL``
+        mid-write leaves behind -- while corruption anywhere else raises
+        :class:`~repro.errors.JournalError`.
+        """
+        entries: "OrderedDict[str, JournalEntry]" = OrderedDict()
+        with self._lock:
+            self._fh.flush()
+            try:
+                raw_lines = self._path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                return entries
+        for lineno, line in enumerate(raw_lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(raw_lines):
+                    continue  # torn final write; the next append repaired framing
+                raise JournalError(
+                    f"{self._path}:{lineno}: journal line is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(doc, dict):
+                raise JournalError(f"{self._path}:{lineno}: journal line is not an object")
+            if doc.get("format_version") != JOURNAL_FORMAT_VERSION:
+                raise JournalError(
+                    f"{self._path}:{lineno}: unsupported journal format "
+                    f"{doc.get('format_version')!r} (expected {JOURNAL_FORMAT_VERSION})"
+                )
+            event = doc.get("event")
+            if event == "submit":
+                try:
+                    entry = JournalEntry(
+                        job_id=str(doc["job_id"]),
+                        kind=str(doc["kind"]),
+                        digest=str(doc["digest"]),
+                        spec=dict(doc["spec"]),
+                    )
+                except (KeyError, TypeError) as exc:
+                    raise JournalError(
+                        f"{self._path}:{lineno}: malformed submit record: {exc!r}"
+                    ) from exc
+                entries[entry.job_id] = entry
+            elif event == "state":
+                entry = entries.get(str(doc.get("job_id")))
+                if entry is None:
+                    continue  # submit line lost to a torn write
+                status = doc.get("status")
+                if not isinstance(status, str):
+                    raise JournalError(
+                        f"{self._path}:{lineno}: state record has no status"
+                    )
+                entry.status = status
+                entry.error = doc.get("error")
+            else:
+                raise JournalError(
+                    f"{self._path}:{lineno}: unknown journal event {event!r}"
+                )
+        return entries
+
+    def compact(self) -> Dict[str, int]:
+        """Atomically drop fully-terminal jobs; keep the live frontier.
+
+        Non-terminal jobs survive as a ``submit`` line plus (when their
+        state moved past ``queued``) one latest-state line.  Returns
+        ``{"before_bytes", "after_bytes", "kept_jobs", "dropped_jobs"}``.
+        """
+        entries = self.replay()
+        with self._lock:
+            self._fh.flush()
+            before = self._path.stat().st_size if self._path.exists() else 0
+            keep = [e for e in entries.values() if not e.terminal]
+            tmp = self._path.with_name(self._path.name + ".compact.tmp")
+            with tmp.open("w", encoding="utf-8") as fh:
+                for entry in keep:
+                    fh.write(
+                        json.dumps(
+                            {
+                                "format_version": JOURNAL_FORMAT_VERSION,
+                                "event": "submit",
+                                "job_id": entry.job_id,
+                                "kind": entry.kind,
+                                "digest": entry.digest,
+                                "spec": entry.spec,
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                    if entry.status != "queued":
+                        doc: Dict[str, Any] = {
+                            "format_version": JOURNAL_FORMAT_VERSION,
+                            "event": "state",
+                            "job_id": entry.job_id,
+                            "status": entry.status,
+                        }
+                        if entry.error is not None:
+                            doc["error"] = entry.error
+                        fh.write(json.dumps(doc, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            # Same directory, so the replace is atomic: readers see the
+            # old complete file or the new complete file, never a mix.
+            os.replace(tmp, self._path)
+            self._fh.close()
+            self._fh = self._path.open("a", encoding="utf-8")
+            after = self._path.stat().st_size
+        return {
+            "before_bytes": before,
+            "after_bytes": after,
+            "kept_jobs": len(keep),
+            "dropped_jobs": len(entries) - len(keep),
+        }
+
+    def close(self) -> None:
+        """Flush and close the append handle (safe to call twice)."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+
+    def __repr__(self) -> str:
+        return f"JobJournal({self._path})"
+
+
+__all__ = [
+    "JOURNAL_FORMAT_VERSION",
+    "TERMINAL_STATES",
+    "JobJournal",
+    "JournalEntry",
+]

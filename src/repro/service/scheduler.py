@@ -35,20 +35,32 @@ The scheduler owns worker *threads*, not processes: executor dispatch is
 numpy-heavy (releases the GIL) or process-sharded (the ``sharded``
 executor brings its own pool), so threads are the right concurrency
 currency at this layer.
+
+With a :class:`~repro.service.journal.JobJournal` attached the scheduler
+is also *durable*: every submission (full spec payload) and every state
+transition is journaled, :meth:`JobScheduler.stop` drains in-flight jobs
+to ``interrupted`` instead of losing them, and
+:meth:`JobScheduler.recover` replays the journal on startup --
+re-resolving completed jobs from the content-addressed cache and
+re-enqueueing the unfinished frontier, so a killed server resumes task
+graphs with zero recomputation of cached work.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import re
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
 from repro.engine.executor import Executor, get_executor
 from repro.errors import ServiceError
 from repro.service.cache import ResultCache, SweepCellCache, report_to_doc
+from repro.service.journal import JobJournal, JournalEntry
 from repro.service.specs import (
     canonical_run_spec,
     canonical_sweep_spec,
@@ -64,8 +76,11 @@ from repro.service.tasks import (
     initial_statuses,
 )
 
-#: The job lifecycle; ``done``/``failed`` are terminal.
-JOB_STATES = ("queued", "running", "done", "failed")
+#: The job lifecycle; ``done``/``failed`` are terminal.  ``interrupted``
+#: marks jobs a stopping scheduler drained mid-run: they are journaled as
+#: unfinished and re-enqueued by :meth:`JobScheduler.recover` (new
+#: process) or :meth:`JobScheduler.start` (same process).
+JOB_STATES = ("queued", "running", "interrupted", "done", "failed")
 
 
 @dataclass
@@ -91,6 +106,10 @@ class Job:
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = field(default=None, repr=False)
     nodes: Optional[Dict[str, Dict[str, Any]]] = field(default=None, repr=False)
+    #: Monotonic update counter: bumped on every status or per-node
+    #: change.  Long-poll watchers (``GET /v1/tasks/<id>?watch=<v>``)
+    #: block until it moves past the version they already saw.
+    version: int = 0
 
     @property
     def finished(self) -> bool:
@@ -107,6 +126,7 @@ class Job:
             "status": self.status,
             "cached": self.cached,
             "error": self.error,
+            "version": self.version,
         }
         if self.nodes is not None:
             doc["tasks"] = {d: dict(node) for d, node in self.nodes.items()}
@@ -137,6 +157,13 @@ class JobScheduler:
         a long-lived server's memory stays bounded (results themselves
         live on in the LRU/persistent cache).  An evicted id answers
         "unknown job" -- clients are expected to poll promptly.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal` (or a path to
+        open one at).  When set, every submission and state transition is
+        journaled, and :meth:`recover` replays the file on startup:
+        terminal jobs re-resolve from the result cache, the unfinished
+        frontier re-enqueues.  Pair it with a *persistent* cache so a
+        resumed task graph recomputes only its never-finished nodes.
     """
 
     def __init__(
@@ -146,6 +173,7 @@ class JobScheduler:
         workers: int = 1,
         max_batch: int = 64,
         max_finished_jobs: int = 4096,
+        journal: Optional[Union[JobJournal, str, Path]] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -174,42 +202,95 @@ class JobScheduler:
             "computations": 0,
             "dispatches": 0,
             "failures": 0,
+            "recovered_jobs": 0,
         }
         self._threads: List[threading.Thread] = []
         self._stopping = False
+        if journal is not None and not isinstance(journal, JobJournal):
+            journal = JobJournal(journal)
+        self._journal: Optional[JobJournal] = journal
+        self._recovered = False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def start(self) -> "JobScheduler":
-        """Spin up the worker threads (idempotent)."""
+        """Spin up the worker threads (idempotent).
+
+        Jobs a previous :meth:`stop` drained to ``interrupted`` (same
+        process) are re-enqueued first, so a stop/start cycle resumes
+        them exactly like a journal recovery would across processes.
+        """
         with self._cv:
             if self._threads:
                 return self
             self._stopping = False
+            for job in self._jobs.values():
+                if job.status == "interrupted":
+                    job.status = "queued"
+                    job.version += 1
+                    self._queue.append(job.job_id)
+                    self._journal_state(job.job_id, "queued")
             for i in range(self._workers):
                 t = threading.Thread(
                     target=self._worker_loop, name=f"repro-scheduler-{i}", daemon=True
                 )
                 t.start()
                 self._threads.append(t)
+            self._cv.notify_all()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop the workers; queued jobs stay queued (restartable)."""
+        """Drain the workers; unfinished jobs stay recoverable.
+
+        Idempotent under concurrent callers (``POST /v1/shutdown`` racing
+        SIGTERM): the thread list is swapped out under the lock, so only
+        one caller joins, and the drain below only touches jobs still
+        ``running``.  After the workers are joined, any job a worker
+        still held (a dispatch that outlived ``timeout``, or a worker
+        stopped between taking and finishing a group) is marked
+        ``interrupted`` -- in memory *and* in the journal -- so its
+        failure record is never silently lost and a restart re-enqueues
+        it.  Queued jobs stay queued (their journaled state already says
+        so).
+        """
         with self._cv:
             self._stopping = True
             self._cv.notify_all()
             threads, self._threads = self._threads, []
         for t in threads:
             t.join(timeout=timeout)
+        with self._cv:
+            for job in self._jobs.values():
+                if job.status == "running":
+                    job.status = "interrupted"
+                    job.version += 1
+                    self._journal_state(job.job_id, "interrupted")
+            self._cv.notify_all()
 
     def __enter__(self) -> "JobScheduler":
         return self.start()
 
     def __exit__(self, *exc_info: Any) -> None:
         self.stop()
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def journal(self) -> Optional[JobJournal]:
+        """The attached job journal, if any (read-only)."""
+        return self._journal
+
+    def _journal_submit(self, job: Job) -> None:
+        if self._journal is not None:
+            self._journal.record_submit(job.job_id, job.kind, job.digest, dict(job.spec))
+
+    def _journal_state(self, job_id: str, status: str, error: Optional[str] = None) -> None:
+        if self._journal is not None:
+            self._journal.record_state(job_id, status, error=error)
 
     # ------------------------------------------------------------------
     # Submission
@@ -245,6 +326,8 @@ class JobScheduler:
                     }
                 self._jobs[job.job_id] = job
                 self._retire(job)
+                self._journal_submit(job)
+                self._journal_state(job.job_id, "done")
                 self._cv.notify_all()
                 return job
             # Node statuses must exist before the job is visible to a
@@ -253,6 +336,7 @@ class JobScheduler:
             self._jobs[job.job_id] = job
             self._inflight[digest] = job.job_id
             self._queue.append(job.job_id)
+            self._journal_submit(job)
             self._cv.notify_all()
             return job
 
@@ -307,6 +391,25 @@ class JobScheduler:
                 )
         return job
 
+    def wait_for_update(
+        self, job_id: str, version: int = -1, timeout: Optional[float] = 30.0
+    ) -> Job:
+        """Long-poll: block until the job moves past ``version``.
+
+        Returns as soon as ``job.version != version`` (any status or
+        per-node transition bumps it) or the job is already terminal;
+        otherwise returns the unchanged job after ``timeout``.  Pass the
+        ``version`` from the last document you saw (``-1`` to get the
+        current state immediately) -- this is the push-update primitive
+        behind ``GET /v1/tasks/<id>?watch=<version>``.
+        """
+        job = self.job(job_id)
+        with self._cv:
+            self._cv.wait_for(
+                lambda: job.finished or job.version != version, timeout=timeout
+            )
+        return job
+
     def metrics(self) -> Dict[str, Any]:
         """Counter snapshot: jobs by state, scheduler counters, cache stats."""
         with self._cv:
@@ -318,8 +421,111 @@ class JobScheduler:
                 "queue_depth": len(self._queue),
                 "inflight": len(self._inflight),
                 **dict(self._counters),
+                "journal_bytes": 0 if self._journal is None else self._journal.nbytes,
                 "cache": self.cache.stats(),
             }
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Replay the journal; returns how many jobs were re-enqueued.
+
+        Idempotent, and a no-op without a journal.  For every journaled
+        job (in submission order):
+
+        * ``done`` -- re-resolved from the content-addressed result
+          cache; a hit restores the job (``cached=True``) without any
+          computation.  A miss (the cache file was lost or trimmed) puts
+          the job back on the queue instead -- recovery must never
+          fabricate results;
+        * ``failed`` -- restored with its recorded error (the failure
+          record survives the restart);
+        * ``queued`` / ``running`` / ``interrupted`` -- the unfinished
+          frontier: re-enqueued for the workers, counted in the
+          ``recovered_jobs`` metric.  Graph jobs rebuild their per-node
+          status maps from the journaled graph document; node results
+          computed before the crash hit the persistent cache during the
+          re-dispatch, so only never-finished nodes recompute.
+
+        The job-id counter advances past every replayed id, so new
+        submissions never collide with recovered ones.
+        """
+        if self._journal is None:
+            return 0
+        with self._cv:
+            if self._recovered:
+                return 0
+            self._recovered = True
+        entries = self._journal.replay()
+        recovered = 0
+        max_seen = 0
+        with self._cv:
+            for entry in entries.values():
+                match = re.fullmatch(r"job-(\d+)", entry.job_id)
+                if match:
+                    max_seen = max(max_seen, int(match.group(1)))
+                if entry.job_id in self._jobs:
+                    continue
+                if self._restore(entry):
+                    recovered += 1
+            if max_seen:
+                self._ids = itertools.count(max_seen + 1)
+            self._counters["recovered_jobs"] += recovered
+            self._cv.notify_all()
+        return recovered
+
+    def _restore(self, entry: JournalEntry) -> bool:
+        """Under the lock: rebuild one journaled job.  True if re-enqueued."""
+        job = Job(
+            job_id=entry.job_id, kind=entry.kind, digest=entry.digest, spec=entry.spec
+        )
+        if entry.status == "failed":
+            job.status = "failed"
+            job.error = entry.error or "failed before restart (journal)"
+            self._jobs[job.job_id] = job
+            self._retire(job)
+            return False
+        if entry.status == "done":
+            cached = self.cache.lookup(entry.digest, kind=entry.kind)
+            if cached is not None:
+                job.status = "done"
+                job.cached = True
+                job.result = cached
+                if job.kind == "graph":
+                    job.nodes = {
+                        d: dict(node) for d, node in cached.get("tasks", {}).items()
+                    }
+                self._jobs[job.job_id] = job
+                self._retire(job)
+                return False
+            # The result is gone (cache trimmed/lost): fall through and
+            # recompute rather than serve a "done" job with no result.
+        # The unfinished frontier (queued/running/interrupted, or a done
+        # job whose result vanished): re-enqueue under the original id.
+        if entry.digest in self._inflight:
+            # A duplicate digest (possible only when an older completed
+            # job's cache entry was evicted and the spec was resubmitted)
+            # is already queued; restoring a second queued copy would
+            # wait forever.  Skip it -- its id answers "unknown job".
+            return False
+        if entry.kind == "graph":
+            try:
+                graph, _ = TaskGraph.from_doc(entry.spec)
+            except Exception as exc:
+                job.status = "failed"
+                job.error = f"unrecoverable graph spec: {type(exc).__name__}: {exc}"
+                self._jobs[job.job_id] = job
+                self._retire(job)
+                self._journal_state(job.job_id, "failed", error=job.error)
+                return False
+            job.nodes = initial_statuses(graph)
+        self._jobs[job.job_id] = job
+        self._inflight[job.digest] = job.job_id
+        self._queue.append(job.job_id)
+        self._journal_state(job.job_id, "queued")
+        return True
 
     # ------------------------------------------------------------------
     # Worker
@@ -336,6 +542,8 @@ class JobScheduler:
         """
         head = self._jobs[self._queue.pop(0)]
         head.status = "running"
+        head.version += 1
+        self._journal_state(head.job_id, "running")
         if head.kind != "run":
             return [head]
         signature = (head.spec["n"], head.spec["backend"], head.spec["max_rounds"])
@@ -350,10 +558,13 @@ class JobScheduler:
                 == signature
             ):
                 job.status = "running"
+                job.version += 1
+                self._journal_state(job.job_id, "running")
                 group.append(job)
             else:
                 remaining.append(job_id)
         self._queue = remaining
+        self._cv.notify_all()  # queued -> running is watchable too
         return group
 
     def _worker_loop(self) -> None:
@@ -393,10 +604,12 @@ class JobScheduler:
             job.result = result
             job.error = error
             job.status = "done" if error is None else "failed"
+            job.version += 1
             if error is not None:
                 self._counters["failures"] += 1
             self._inflight.pop(job.digest, None)
             self._retire(job)
+            self._journal_state(job.job_id, job.status, error=error)
             self._cv.notify_all()
 
     def _dispatch_runs(self, group: List[Job]) -> None:
@@ -424,6 +637,10 @@ class JobScheduler:
             with self._cv:
                 if job.nodes is not None:
                     job.nodes[digest] = node
+                    job.version += 1
+                    # Wake long-poll watchers on every node transition,
+                    # not just terminal job states.
+                    self._cv.notify_all()
 
         runner = TaskGraphRunner(
             executor=self._executor,

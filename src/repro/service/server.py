@@ -19,7 +19,9 @@ Endpoints
                          [...]}`` -> job envelope with per-node statuses
 ``GET /v1/runs/<id>``    job state (+ serialized result when ``done``)
 ``GET /v1/sweeps/<id>``  alias of ``GET /v1/runs/<id>``
-``GET /v1/tasks/<id>``   alias with live per-node task statuses
+``GET /v1/tasks/<id>``   alias with live per-node task statuses; add
+                         ``?watch=<version>[&timeout=<s>]`` to long-poll
+                         until the job moves past that update version
 ``POST /v1/shutdown``    acknowledge, then stop the server gracefully
 ======================  ====================================================
 
@@ -38,14 +40,25 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
 
 from repro._version import __version__
 from repro.errors import ServiceError, SpecError
 from repro.service.cache import ResultCache
+from repro.service.journal import JobJournal
 from repro.service.scheduler import JobScheduler
 from repro.service.specs import describe_registry
 from repro.service.tasks import describe_task_kinds
+
+#: Default request-body cap: far above any legitimate spec or task
+#: graph, far below what would let one request exhaust server memory.
+DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class _PayloadTooLarge(Exception):
+    """Internal: a request body exceeded the configured cap (-> 413)."""
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -69,8 +82,20 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_json(self) -> Dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise SpecError("Content-Length header is not an integer") from None
+        cap = getattr(self.server, "max_body_bytes", DEFAULT_MAX_BODY_BYTES)
+        if length > cap:
+            # The body is validated *before* allocation: a hostile or
+            # malformed Content-Length must not make the handler thread
+            # buffer an unbounded request into memory.
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the server cap "
+                f"of {cap} bytes"
+            )
+        raw = self.rfile.read(length) if length > 0 else b""
         if not raw:
             raise SpecError("request body must be a JSON object")
         try:
@@ -108,13 +133,41 @@ class _Handler(BaseHTTPRequestHandler):
             if path.startswith(prefix):
                 job_id = path[len(prefix):]
                 try:
-                    job = self.scheduler.job(job_id)
+                    job = self._get_job(job_id)
+                except SpecError as exc:
+                    self._send_json(400, {"error": str(exc)})
+                    return
                 except ServiceError as exc:
                     self._send_json(404, {"error": str(exc)})
                     return
                 self._send_json(200, job.to_doc())
                 return
         self._send_json(404, {"error": f"unknown path {path!r}"})
+
+    def _get_job(self, job_id: str) -> Any:
+        """Resolve a job, honouring the ``?watch=<version>`` long-poll.
+
+        ``watch`` holds the request until the job's update version moves
+        past the one given (or the optional ``timeout``, capped so a
+        handler thread can never be parked indefinitely, elapses).
+        """
+        query = parse_qs(urlparse(self.path).query)
+        if "watch" not in query:
+            return self.scheduler.job(job_id)
+        try:
+            version = int(query["watch"][0])
+        except ValueError:
+            raise SpecError(
+                f"watch version must be an integer, got {query['watch'][0]!r}"
+            ) from None
+        try:
+            timeout = float(query.get("timeout", ["30"])[0])
+        except ValueError:
+            raise SpecError(
+                f"watch timeout must be a number, got {query['timeout'][0]!r}"
+            ) from None
+        timeout = max(0.0, min(timeout, 60.0))
+        return self.scheduler.wait_for_update(job_id, version=version, timeout=timeout)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         path = self.path.split("?", 1)[0].rstrip("/")
@@ -136,10 +189,20 @@ class _Handler(BaseHTTPRequestHandler):
                 job = self.scheduler.submit_sweep(spec)
             else:
                 job = self.scheduler.submit_tasks(spec)
+        except _PayloadTooLarge as exc:
+            self._send_too_large(exc)
+            return
         except SpecError as exc:
             self._send_json(400, {"error": str(exc)})
             return
         self._send_json(202, job.to_doc(include_result=job.finished))
+
+    def _send_too_large(self, exc: _PayloadTooLarge) -> None:
+        """413 without reading the body; close so framing stays clean."""
+        # The oversized body was never read, so a keep-alive connection
+        # would misparse it as the next request line: close instead.
+        self.close_connection = True
+        self._send_json(413, {"error": str(exc)})
 
     def _post_runs_batch(self) -> None:
         """``POST /v1/runs:batch``: per-item envelopes, in submission order.
@@ -150,6 +213,9 @@ class _Handler(BaseHTTPRequestHandler):
         """
         try:
             body = self._read_json()
+        except _PayloadTooLarge as exc:
+            self._send_too_large(exc)
+            return
         except SpecError as exc:
             self._send_json(400, {"error": str(exc)})
             return
@@ -190,6 +256,16 @@ class ServiceServer:
         ``/metrics`` under ``cache.bytes``.
     scheduler_workers:
         Worker threads draining the job queue.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal` (or path).
+        :meth:`start` replays it before serving: completed jobs
+        re-resolve from the result cache, the unfinished frontier
+        re-enqueues (``/metrics`` reports ``recovered_jobs`` and
+        ``journal_bytes``).  Pair with ``cache_path`` so resumed task
+        graphs recompute only never-finished nodes.
+    max_body_bytes:
+        Request-body cap (default 32 MiB); larger bodies are rejected
+        with ``413`` before allocation.
 
     Use as a context manager (``with ServiceServer() as srv:``) or call
     :meth:`start` / :meth:`stop` explicitly.  :meth:`serve_forever`
@@ -207,20 +283,27 @@ class ServiceServer:
         cache_capacity: int = 4096,
         cache_max_bytes: Optional[int] = None,
         scheduler_workers: int = 1,
+        journal: Optional[Union[JobJournal, str, Path]] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
+        if max_body_bytes < 1:
+            raise ServiceError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
         if cache is None:
             cache = ResultCache(
                 path=cache_path, capacity=cache_capacity, max_bytes=cache_max_bytes
             )
         self.scheduler = JobScheduler(
-            executor=executor, cache=cache, workers=scheduler_workers
+            executor=executor, cache=cache, workers=scheduler_workers, journal=journal
         )
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.scheduler = self.scheduler  # type: ignore[attr-defined]
         self._httpd.owner = self  # type: ignore[attr-defined]
+        self._httpd.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._closed = False
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -234,7 +317,14 @@ class ServiceServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "ServiceServer":
-        """Start scheduler workers and the HTTP serving thread."""
+        """Recover from the journal, then start workers + HTTP serving.
+
+        Recovery runs before the workers spin up, so the re-enqueued
+        frontier is dispatched exactly like fresh submissions, and
+        before the socket answers, so an early ``GET /v1/tasks/<id>``
+        already sees the recovered job.
+        """
+        self.scheduler.recover()
         self.scheduler.start()
         if self._thread is None:
             self._stopped.clear()
@@ -248,14 +338,25 @@ class ServiceServer:
         return self
 
     def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain workers, close sockets."""
-        if self._thread is not None:
-            self._httpd.shutdown()
-            self._thread.join(timeout=10.0)
-            self._thread = None
-        self._httpd.server_close()
-        self.scheduler.stop()
-        self._stopped.set()
+        """Graceful shutdown: drain the scheduler, then close the socket.
+
+        Idempotent under concurrent callers (``POST /v1/shutdown`` racing
+        a SIGTERM delivers two calls): a lock serializes them and the
+        second pass finds nothing left to do.  The scheduler drains
+        *first* -- workers are joined and any still-running job is marked
+        ``interrupted`` in the journal -- so no failure or progress
+        record is lost while handler threads are being torn down.
+        """
+        with self._stop_lock:
+            self.scheduler.stop()
+            if self._thread is not None:
+                self._httpd.shutdown()
+                self._thread.join(timeout=10.0)
+                self._thread = None
+            if not self._closed:
+                self._httpd.server_close()
+                self._closed = True
+            self._stopped.set()
 
     def stop_async(self) -> None:
         """Trigger :meth:`stop` from a handler thread (``POST /v1/shutdown``)."""

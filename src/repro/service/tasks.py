@@ -548,6 +548,13 @@ class TaskGraphRunner:
         Optional ``(digest, node_doc)`` callback fired on every node
         state change (the scheduler mirrors these into the job document
         served by ``GET /v1/tasks/<id>``).
+    foreign_wait_timeout:
+        Upper bound (seconds) on each wait for a task another graph is
+        computing.  An owner that vanished without releasing its claim
+        (a worker torn down mid-stop, a crashed thread) must not hang
+        this graph forever: after the timeout the stale claim is broken
+        and the task recomputed here (content-addressed, so a racing
+        duplicate computation is byte-identical, never wrong).
     """
 
     def __init__(
@@ -556,11 +563,13 @@ class TaskGraphRunner:
         cache: Optional[ResultCache] = None,
         inflight: Optional[TaskInflight] = None,
         on_update: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+        foreign_wait_timeout: float = 10.0,
     ) -> None:
         self._executor: Executor = get_executor(executor)
         self._cache = cache
         self._inflight = inflight
         self._on_update = on_update
+        self._foreign_wait_timeout = foreign_wait_timeout
 
     # -- cache plumbing -------------------------------------------------
 
@@ -735,16 +744,24 @@ class TaskGraphRunner:
                 if self._inflight is not None:
                     self._inflight.release(digest)
 
-        # Digests another graph is computing: wait, then re-probe; if the
-        # owner failed, claim and compute ourselves next wave.
+        # Digests another graph is computing: wait (bounded -- a dead
+        # owner must not hang us), then re-probe; if the owner failed,
+        # claim and compute ourselves next wave.
         for digest, event in foreign:
             mark(digest, status="running")
-            event.wait()
+            released = event.wait(timeout=self._foreign_wait_timeout)
             doc = self._cache_probe(graph[digest], digest)
             if doc is not None:
                 finish_ok(digest, doc, True)
-            else:
-                mark(digest, status="pending")
+                continue
+            if not released and self._inflight is not None:
+                # The owner held its claim past the timeout with nothing
+                # cached: assume it died without releasing and break the
+                # claim, so the next wave claims and computes here.  If
+                # the owner is merely slow, the worst case is one
+                # duplicate computation of a content-addressed task.
+                self._inflight.release(digest)
+            mark(digest, status="pending")
         # (Un-resolved foreign digests stay pending and are retried.)
 
 

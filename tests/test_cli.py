@@ -103,3 +103,26 @@ class TestSweepExactLemmas:
         assert main(["lemmas", "-n", "5", "--trials", "10"]) == 0
         out = capsys.readouterr().out
         assert "0 failures" in out
+
+
+class TestCacheCommands:
+    def test_cache_compact_shrinks_and_reports(self, tmp_path, capsys):
+        from repro.service.cache import ResultCache
+
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path=path)
+        for i in range(4):
+            cache.store("same", "cell", {"t_star": i})  # 3 dead lines
+        assert main(["cache", "compact", "--path", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "1 live entries" in out
+        assert ResultCache(path=path).lookup("same") == {"t_star": 3}
+
+    def test_cache_stats_reports_compactions(self, tmp_path, capsys):
+        from repro.service.cache import ResultCache
+
+        path = tmp_path / "cache.jsonl"
+        ResultCache(path=path).store("a", "cell", {"t_star": 1})
+        assert main(["cache", "stats", "--path", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "compactions" in out and "file_bytes" in out

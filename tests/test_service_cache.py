@@ -158,14 +158,66 @@ class TestCacheMechanics:
         with pytest.raises(CacheError, match="max_bytes"):
             ResultCache(max_bytes=0)
 
-    def test_eviction_never_trims_the_file(self, tmp_path):
+    def test_eviction_below_threshold_keeps_file_history(self, tmp_path):
         path = tmp_path / "budget.jsonl"
         cache = ResultCache(path=path, max_bytes=150)
-        for i in range(5):
+        for i in range(3):
             cache.store(f"k{i}", "cell", {"blob": "z" * 40})
-        assert len(cache) < 5  # memory tier trimmed
+        assert len(cache) < 3  # memory tier trimmed
+        assert cache.stats()["compactions"] == 0
         reopened = ResultCache(path=path)
-        assert len(reopened) == 5  # the file kept the full history
+        assert len(reopened) == 3  # the file kept the full history
+
+    def test_eviction_past_threshold_auto_compacts(self, tmp_path):
+        """Once evictions orphan a full budget of file bytes, compact."""
+        path = tmp_path / "budget.jsonl"
+        cache = ResultCache(path=path, max_bytes=150)
+        for i in range(12):
+            cache.store(f"k{i}", "cell", {"blob": "z" * 40})
+        assert cache.stats()["compactions"] >= 1
+        reopened = ResultCache(path=path)
+        # The rewritten file holds exactly the live set at compaction
+        # time (plus any appends after it) -- not the full history.
+        assert len(reopened) < 12
+        for i in range(12):
+            if f"k{i}" in cache:
+                assert reopened.lookup(f"k{i}") == cache.lookup(f"k{i}")
+
+    def test_compact_shrinks_file_and_reload_is_byte_identical(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path=path)
+        for i in range(6):
+            cache.store(f"k{i}", "cell", {"t_star": i})
+        for i in range(6):  # overwrites: 6 dead lines in the file
+            cache.store(f"k{i}", "cell", {"t_star": i * 10})
+        report = cache.compact()
+        assert report["after_bytes"] < report["before_bytes"]
+        assert report["entries"] == 6
+        reopened = ResultCache(path=path)
+        assert len(reopened) == 6
+        for i in range(6):
+            assert reopened.lookup(f"k{i}") == {"t_star": i * 10}
+        # Compacting an already-compact file is a no-op byte-wise.
+        again = cache.compact()
+        assert again["after_bytes"] == report["after_bytes"]
+        assert cache.stats()["compactions"] == 2
+
+    def test_compact_requires_persistence_path(self):
+        with pytest.raises(CacheError, match="persistence path"):
+            ResultCache().compact()
+
+    def test_torn_final_line_repaired_on_open(self, tmp_path):
+        path = tmp_path / "cache.jsonl"
+        cache = ResultCache(path=path)
+        cache.store("a", "cell", {"t_star": 1})
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"digest": "b", "form')  # SIGKILL mid-append
+        reopened = ResultCache(path=path)
+        assert reopened.lookup("a") == {"t_star": 1}
+        assert "b" not in reopened
+        # The repair truncated the fragment, so new appends replay clean.
+        reopened.store("c", "cell", {"t_star": 3})
+        assert ResultCache(path=path).lookup("c") == {"t_star": 3}
 
     def test_persistence_round_trip_later_lines_win(self, tmp_path):
         path = tmp_path / "cache.jsonl"
