@@ -377,13 +377,46 @@ def _parse_param_pairs(pairs: Optional[Sequence[str]]) -> Dict[str, object]:
     return params
 
 
+def _build_auth(args: argparse.Namespace):
+    """``(authenticator, per-tenant limits)`` from --auth-token/--auth-file."""
+    from repro.service.tenancy import TenantLimits, TokenAuthenticator
+
+    tokens: Dict[str, str] = {}
+    limits: Dict[str, TenantLimits] = {}
+    if args.auth_file:
+        authenticator, limits = TokenAuthenticator.from_file(args.auth_file)
+        tokens = authenticator.token_map()
+    for pair in args.auth_token or []:
+        token, sep, tenant = pair.partition(":")
+        if not token:
+            raise SystemExit(f"--auth-token expects TOKEN[:TENANT], got {pair!r}")
+        tokens[token] = tenant if sep and tenant else "default"
+    if not tokens:
+        return None, limits
+    return TokenAuthenticator(tokens), limits
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Start the simulation service and block until interrupted."""
     import signal
 
+    from repro.errors import ServiceError
     from repro.service.server import ServiceServer
+    from repro.service.tenancy import TenantLimits, TenantRegistry
 
     try:
+        auth, per_tenant = _build_auth(args)
+        default_limits = TenantLimits(
+            rate=args.rate_limit,
+            burst=args.burst,
+            max_bytes=args.tenant_max_bytes,
+            max_jobs=args.tenant_max_jobs,
+        )
+        tenancy = None
+        if auth is not None or per_tenant or not default_limits.unlimited:
+            tenancy = TenantRegistry(
+                default_limits=default_limits, per_tenant=per_tenant
+            )
         server = ServiceServer(
             host=args.host,
             port=args.port,
@@ -393,11 +426,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
             cache_max_bytes=args.cache_max_bytes,
             scheduler_workers=args.jobs,
             journal=args.journal,
+            auth=auth,
+            tenancy=tenancy,
+            max_queue_depth=args.max_queue_depth,
+            request_timeout=args.request_timeout,
+            access_log=not args.no_access_log,
         )
+    except ServiceError as exc:  # bad auth file / limit values
+        print(str(exc), file=sys.stderr)
+        return 2
     except OSError as exc:  # bind failure: port in use, bad host, ...
         print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
         return 2
     print(f"repro simulation service listening on {server.url}")
+    if auth is not None:
+        print(
+            f"bearer-token auth enabled ({len(auth.tenants)} tenant(s)); "
+            "requests without a valid token get 401"
+        )
     print(
         "endpoints: POST /v1/runs, POST /v1/runs:batch, POST /v1/sweeps, "
         "POST /v1/tasks, GET /v1/runs/<id>, GET /v1/tasks/<id>, "
@@ -434,7 +480,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if args.backend is not None:
         spec["backend"] = args.backend
     try:
-        client = ServiceClient.from_url(args.url)
+        client = ServiceClient.from_url(
+            args.url, token=args.token, retry_rate_limited=args.retry_rate_limited
+        )
         doc = client.submit_run(spec)
         print(
             f"job {doc['job_id']}: status={doc['status']} "
@@ -528,7 +576,7 @@ def cmd_task_submit(args: argparse.Namespace) -> int:
         print("task graph document must be a JSON object", file=sys.stderr)
         return 2
     try:
-        client = ServiceClient.from_url(args.url)
+        client = ServiceClient.from_url(args.url, token=args.token)
         envelope = client.submit_tasks(doc.get("tasks", []), outputs=doc.get("outputs"))
         if args.wait:
             envelope = client.wait(envelope["job_id"], timeout=args.timeout)
@@ -551,7 +599,7 @@ def cmd_task_status(args: argparse.Namespace) -> int:
     from repro.errors import ServiceError
     from repro.service.client import ServiceClient
 
-    client = ServiceClient.from_url(args.url)
+    client = ServiceClient.from_url(args.url, token=args.token)
     try:
         if args.watch:
             doc = None
@@ -786,6 +834,81 @@ def build_parser() -> argparse.ArgumentParser:
             "recompute only never-finished nodes)"
         ),
     )
+    p.add_argument(
+        "--auth-token",
+        action="append",
+        metavar="TOKEN[:TENANT]",
+        help=(
+            "require bearer-token auth; repeatable.  Each flag adds one "
+            "accepted token, optionally mapped to a tenant id (default "
+            "tenant 'default').  Requests without a valid token get 401"
+        ),
+    )
+    p.add_argument(
+        "--auth-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSON file mapping tokens to tenant ids, or to objects "
+            "{'tenant', 'rate', 'burst', 'max_bytes', 'max_jobs'} with "
+            "per-tenant limit overrides"
+        ),
+    )
+    p.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="REQ_PER_S",
+        help=(
+            "per-tenant token-bucket rate limit on submissions "
+            "(429 + Retry-After past it; default: unlimited)"
+        ),
+    )
+    p.add_argument(
+        "--burst",
+        type=int,
+        default=None,
+        help="token-bucket burst size (default: max(1, int(rate)))",
+    )
+    p.add_argument(
+        "--tenant-max-bytes",
+        type=int,
+        default=None,
+        help=(
+            "per-tenant cache byte quota: a tenant whose charged cache "
+            "bytes exceed this gets 429/quota on new submissions"
+        ),
+    )
+    p.add_argument(
+        "--tenant-max-jobs",
+        type=int,
+        default=None,
+        help="per-tenant cap on concurrently active (queued/running) jobs",
+    )
+    p.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help=(
+            "global backpressure: reject submissions with 429 while this "
+            "many jobs are already queued (default: unlimited)"
+        ),
+    )
+    p.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "per-connection socket timeout; a client that stalls "
+            "mid-request gets 408 and is dropped (default: 30)"
+        ),
+    )
+    p.add_argument(
+        "--no-access-log",
+        action="store_true",
+        help="disable the structured JSON request log on stderr",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -814,6 +937,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--timeout", type=float, default=300.0, help="--wait deadline in seconds"
     )
+    p.add_argument(
+        "--token", default=None, help="bearer token sent as Authorization header"
+    )
+    p.add_argument(
+        "--retry-rate-limited",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry up to N times on 429, honouring the server's Retry-After",
+    )
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser(
@@ -838,6 +971,9 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument(
         "--timeout", type=float, default=600.0, help="--wait deadline in seconds"
     )
+    ps.add_argument(
+        "--token", default=None, help="bearer token sent as Authorization header"
+    )
     ps.set_defaults(func=cmd_task_submit)
     ps = tsub.add_parser(
         "status", help="per-node status of a task-graph job"
@@ -853,6 +989,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument(
         "--timeout", type=float, default=600.0, help="--watch deadline in seconds"
+    )
+    ps.add_argument(
+        "--token", default=None, help="bearer token sent as Authorization header"
     )
     ps.set_defaults(func=cmd_task_status)
 

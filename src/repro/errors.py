@@ -33,8 +33,14 @@ which subsystem rejected the input:
   (the server was unreachable mid-request) and
   :class:`ServiceResponseError` (a non-2xx response; ``status`` and the
   server's JSON ``payload`` are attached), itself specialized into
-  :class:`SpecRejectedError` (400), :class:`PayloadTooLargeError` (413),
-  and :class:`UnknownResourceError` (404).
+  :class:`SpecRejectedError` (400), :class:`AuthenticationError` (401),
+  :class:`PayloadTooLargeError` (413), :class:`UnknownResourceError`
+  (404), :class:`RateLimitedError` (429, carries ``retry_after``), and
+  :class:`QuotaExceededError` (429 for an exhausted per-tenant quota --
+  a :class:`RateLimitedError` subclass that bounded retry must *not*
+  retry, because waiting does not replenish a quota).  The same classes
+  are raised server-side by :mod:`repro.service.tenancy` and mapped onto
+  HTTP statuses by the request handler.
 """
 
 from __future__ import annotations
@@ -138,6 +144,48 @@ class ServiceResponseError(ServiceError):
 
 class SpecRejectedError(ServiceResponseError):
     """The service rejected a submitted spec or task graph (HTTP 400)."""
+
+
+class AuthenticationError(ServiceResponseError):
+    """The request carried a missing or invalid bearer token (HTTP 401)."""
+
+    def __init__(
+        self, message: str, status: int = 401, payload: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message, status=status, payload=payload)
+
+
+class RateLimitedError(ServiceResponseError):
+    """The service applied backpressure (HTTP 429).
+
+    Attributes
+    ----------
+    retry_after:
+        Seconds after which the request is expected to be admitted
+        (the ``Retry-After`` header / ``retry_after`` payload field),
+        or ``None`` when the server did not say.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 429,
+        payload: Optional[Dict[str, Any]] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message, status=status, payload=payload)
+        self.retry_after: Optional[float] = (
+            None if retry_after is None else float(retry_after)
+        )
+
+
+class QuotaExceededError(RateLimitedError):
+    """A per-tenant quota (bytes or jobs) is exhausted (HTTP 429).
+
+    Subclasses :class:`RateLimitedError` so blanket 429 handling covers
+    both, but bounded retry skips it: waiting replenishes a token
+    bucket, not a quota.
+    """
 
 
 class PayloadTooLargeError(ServiceResponseError):

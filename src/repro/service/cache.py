@@ -355,6 +355,18 @@ class ResultCache:
             self._hits += 1
             return entry[1]
 
+    def entry_nbytes(self, digest: str) -> Optional[int]:
+        """The accounted size of one entry, or ``None`` when absent.
+
+        This is the hook per-tenant byte accounting charges against
+        (:mod:`repro.service.tenancy`): the entry itself stays shared and
+        deduplicated, but each tenant that uses the digest is billed its
+        serialized size.  Does not touch recency or hit/miss counters.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            return None if entry is None else entry[2]
+
     def __contains__(self, digest: str) -> bool:
         with self._lock:
             return digest in self._entries

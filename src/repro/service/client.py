@@ -17,7 +17,10 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro.errors import (
+    AuthenticationError,
     PayloadTooLargeError,
+    QuotaExceededError,
+    RateLimitedError,
     ServiceConnectionError,
     ServiceError,
     ServiceResponseError,
@@ -40,27 +43,65 @@ class ServiceClient:
     non-2xx responses a :class:`~repro.errors.ServiceResponseError`
     carrying ``status`` and the server's JSON ``payload`` --
     :class:`~repro.errors.SpecRejectedError` for 400 (malformed
-    specs/graphs), :class:`~repro.errors.PayloadTooLargeError` for 413
-    (body over the server's cap), :class:`~repro.errors.UnknownResourceError`
-    for 404 (unknown jobs/paths).  The server's ``error`` field becomes
-    the exception message in every case.
+    specs/graphs), :class:`~repro.errors.AuthenticationError` for 401
+    (missing/bad bearer token), :class:`~repro.errors.PayloadTooLargeError`
+    for 413 (body over the server's cap),
+    :class:`~repro.errors.UnknownResourceError` for 404 (unknown
+    jobs/paths), and for 429 either
+    :class:`~repro.errors.QuotaExceededError` (the server said
+    ``reason="quota"``) or :class:`~repro.errors.RateLimitedError`, both
+    carrying ``retry_after``.  The server's ``error`` field becomes the
+    exception message in every case.
+
+    ``token`` (when given) is sent as ``Authorization: Bearer <token>``
+    on every request.  ``retry_rate_limited`` enables bounded retry on
+    429: up to that many extra attempts, sleeping the server's
+    ``retry_after`` between them.  Quota rejections are never retried --
+    waiting does not replenish a quota.
 
     ``timeout`` (default 30 s) bounds every socket operation -- connect,
     send, and each read -- so a hung server can never hang the client.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 30.0,
+        token: Optional[str] = None,
+        retry_rate_limited: int = 0,
+        max_retry_wait: float = 5.0,
+    ) -> None:
+        if retry_rate_limited < 0:
+            raise ServiceError(
+                f"retry_rate_limited must be >= 0, got {retry_rate_limited}"
+            )
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.token = token
+        self.retry_rate_limited = int(retry_rate_limited)
+        self.max_retry_wait = float(max_retry_wait)
 
     @classmethod
-    def from_url(cls, url: str, timeout: float = 30.0) -> "ServiceClient":
+    def from_url(
+        cls,
+        url: str,
+        timeout: float = 30.0,
+        token: Optional[str] = None,
+        retry_rate_limited: int = 0,
+    ) -> "ServiceClient":
         """Build a client from ``http://host:port`` (the CLI ``--url`` form)."""
         parsed = urlparse(url if "//" in url else f"//{url}", scheme="http")
         if parsed.scheme != "http" or not parsed.hostname:
             raise ServiceError(f"service URL must look like http://host:port, got {url!r}")
-        return cls(parsed.hostname, parsed.port or 80, timeout=timeout)
+        return cls(
+            parsed.hostname,
+            parsed.port or 80,
+            timeout=timeout,
+            token=token,
+            retry_rate_limited=retry_rate_limited,
+        )
 
     # ------------------------------------------------------------------
     # Transport
@@ -78,6 +119,8 @@ class ServiceClient:
         try:
             payload = None if body is None else json.dumps(body)
             headers = {"Content-Type": "application/json"} if payload else {}
+            if self.token is not None:
+                headers["Authorization"] = f"Bearer {self.token}"
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
@@ -111,17 +154,42 @@ class ServiceClient:
         body: Optional[Dict[str, Any]] = None,
         timeout: Optional[float] = None,
     ) -> Dict[str, Any]:
-        status, doc = self._request(method, path, body, timeout=timeout)
-        if status >= 400:
+        """One request with typed errors and bounded rate-limit retry.
+
+        A 429 with ``reason != "quota"`` is retried up to
+        ``retry_rate_limited`` times, sleeping the server's
+        ``retry_after`` (capped at ``max_retry_wait``) between attempts;
+        quota rejections and every other status raise immediately.
+        """
+        attempts = 0
+        while True:
+            status, doc = self._request(method, path, body, timeout=timeout)
+            if status < 400:
+                return doc
             message = doc.get("error", f"{method} {path} returned HTTP {status}")
             if status == 400:
                 raise SpecRejectedError(message, status=status, payload=doc)
+            if status == 401:
+                raise AuthenticationError(message, status=status, payload=doc)
             if status == 404:
                 raise UnknownResourceError(message, status=status, payload=doc)
             if status == 413:
                 raise PayloadTooLargeError(message, status=status, payload=doc)
+            if status == 429:
+                retry_after = doc.get("retry_after")
+                if doc.get("reason") == "quota":
+                    raise QuotaExceededError(
+                        message, status=status, payload=doc, retry_after=retry_after
+                    )
+                if attempts < self.retry_rate_limited:
+                    attempts += 1
+                    wait = 0.05 if retry_after is None else float(retry_after)
+                    time.sleep(max(0.0, min(wait, self.max_retry_wait)))
+                    continue
+                raise RateLimitedError(
+                    message, status=status, payload=doc, retry_after=retry_after
+                )
             raise ServiceResponseError(message, status=status, payload=doc)
-        return doc
 
     # ------------------------------------------------------------------
     # Endpoints

@@ -57,6 +57,9 @@ class JournalEntry:
     spec: Dict[str, Any]
     status: str = "queued"
     error: Optional[str] = None
+    #: Submitting tenant; journals written before multi-tenancy default
+    #: to the anonymous tenant on replay.
+    tenant: str = "public"
 
     @property
     def terminal(self) -> bool:
@@ -121,7 +124,12 @@ class JobJournal:
             self._fh.flush()
 
     def record_submit(
-        self, job_id: str, kind: str, digest: str, spec: Dict[str, Any]
+        self,
+        job_id: str,
+        kind: str,
+        digest: str,
+        spec: Dict[str, Any],
+        tenant: str = "public",
     ) -> None:
         """Record one submission with its full spec payload."""
         self._append(
@@ -132,6 +140,7 @@ class JobJournal:
                 "kind": kind,
                 "digest": digest,
                 "spec": spec,
+                "tenant": tenant,
             }
         )
 
@@ -196,6 +205,7 @@ class JobJournal:
                         kind=str(doc["kind"]),
                         digest=str(doc["digest"]),
                         spec=dict(doc["spec"]),
+                        tenant=str(doc.get("tenant", "public")),
                     )
                 except (KeyError, TypeError) as exc:
                     raise JournalError(
@@ -243,6 +253,7 @@ class JobJournal:
                                 "kind": entry.kind,
                                 "digest": entry.digest,
                                 "spec": entry.spec,
+                                "tenant": entry.tenant,
                             },
                             sort_keys=True,
                         )

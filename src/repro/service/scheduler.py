@@ -52,10 +52,11 @@ import itertools
 import json
 import re
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.engine.executor import Executor, get_executor
 from repro.errors import ServiceError
@@ -75,6 +76,7 @@ from repro.service.tasks import (
     graph_digest,
     initial_statuses,
 )
+from repro.service.tenancy import DEFAULT_TENANT, TenantRegistry
 
 #: The job lifecycle; ``done``/``failed`` are terminal.  ``interrupted``
 #: marks jobs a stopping scheduler drained mid-run: they are journaled as
@@ -103,6 +105,7 @@ class Job:
     spec: Dict[str, Any]
     status: str = "queued"
     cached: bool = False
+    tenant: str = DEFAULT_TENANT
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = field(default=None, repr=False)
     nodes: Optional[Dict[str, Dict[str, Any]]] = field(default=None, repr=False)
@@ -125,6 +128,7 @@ class Job:
             "spec": self.spec,
             "status": self.status,
             "cached": self.cached,
+            "tenant": self.tenant,
             "error": self.error,
             "version": self.version,
         }
@@ -164,6 +168,17 @@ class JobScheduler:
         terminal jobs re-resolve from the result cache, the unfinished
         frontier re-enqueues.  Pair it with a *persistent* cache so a
         resumed task graph recomputes only its never-finished nodes.
+    tenancy:
+        Optional :class:`~repro.service.tenancy.TenantRegistry`.  When
+        set, submissions are checked against the submitting tenant's
+        byte/job quotas (:class:`~repro.errors.QuotaExceededError` -> 429)
+        and every job's cache bytes are charged to its tenant's account,
+        reported under ``/metrics`` ``tenants``.  Shared digests stay
+        deduplicated in the cache; accounting is per-tenant use.
+    watch_grace:
+        Seconds after its last long-poll during which a terminal job is
+        exempt from retention eviction, so an active watcher's next
+        ``?watch=`` poll still finds the finished job instead of a 404.
     """
 
     def __init__(
@@ -174,6 +189,8 @@ class JobScheduler:
         max_batch: int = 64,
         max_finished_jobs: int = 4096,
         journal: Optional[Union[JobJournal, str, Path]] = None,
+        tenancy: Optional[TenantRegistry] = None,
+        watch_grace: float = 120.0,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -210,6 +227,18 @@ class JobScheduler:
             journal = JobJournal(journal)
         self._journal: Optional[JobJournal] = journal
         self._recovered = False
+        self.tenancy = tenancy
+        # Long-poll watcher bookkeeping: active watcher counts, the
+        # monotonic deadline until which a recently-watched job must
+        # survive retention, and terminal jobs whose eviction was
+        # deferred because a watcher was (recently) attached.
+        self._watch_grace = max(0.0, watch_grace)
+        self._watching: Dict[str, int] = {}
+        self._watched_until: Dict[str, float] = {}
+        self._watch_deferred: Set[str] = set()
+        # Tenants sharing each in-flight digest (the submitter plus any
+        # deduped duplicates): all of them are charged when it finishes.
+        self._tenant_waiters: Dict[str, Set[str]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -286,7 +315,9 @@ class JobScheduler:
 
     def _journal_submit(self, job: Job) -> None:
         if self._journal is not None:
-            self._journal.record_submit(job.job_id, job.kind, job.digest, dict(job.spec))
+            self._journal.record_submit(
+                job.job_id, job.kind, job.digest, dict(job.spec), tenant=job.tenant
+            )
 
     def _journal_state(self, job_id: str, status: str, error: Optional[str] = None) -> None:
         if self._journal is not None:
@@ -302,7 +333,12 @@ class JobScheduler:
         spec: Dict[str, Any],
         digest: str,
         nodes: Optional[Dict[str, Dict[str, Any]]] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Job:
+        if self.tenancy is not None:
+            # Quota gate before any state changes: an over-quota tenant's
+            # submission must not enqueue, dedup, or touch the cache.
+            self.tenancy.check_quota(tenant)
         with self._cv:
             self._counters["submitted"] += 1
             # In-flight dedup first: it must win over a cache probe so the
@@ -310,9 +346,18 @@ class JobScheduler:
             existing = self._inflight.get(digest)
             if existing is not None:
                 self._counters["dedup_inflight"] += 1
+                if self.tenancy is not None:
+                    # The duplicate submitter shares the in-flight job but
+                    # is accounted (and later charged) as its own use.
+                    self.tenancy.on_submit(tenant)
+                    self._tenant_waiters.setdefault(digest, set()).add(tenant)
                 return self._jobs[existing]
             job = Job(
-                job_id=f"job-{next(self._ids):06d}", kind=kind, digest=digest, spec=spec
+                job_id=f"job-{next(self._ids):06d}",
+                kind=kind,
+                digest=digest,
+                spec=spec,
+                tenant=tenant,
             )
             cached = self.cache.lookup(digest, kind=kind)
             if cached is not None:
@@ -328,6 +373,10 @@ class JobScheduler:
                 self._retire(job)
                 self._journal_submit(job)
                 self._journal_state(job.job_id, "done")
+                if self.tenancy is not None:
+                    self.tenancy.on_cached(
+                        tenant, digest, self.cache.entry_nbytes(digest) or 0
+                    )
                 self._cv.notify_all()
                 return job
             # Node statuses must exist before the job is visible to a
@@ -337,20 +386,29 @@ class JobScheduler:
             self._inflight[digest] = job.job_id
             self._queue.append(job.job_id)
             self._journal_submit(job)
+            if self.tenancy is not None:
+                self.tenancy.on_submit(tenant)
+                self._tenant_waiters.setdefault(digest, set()).add(tenant)
             self._cv.notify_all()
             return job
 
-    def submit_run(self, raw_spec: Dict[str, Any]) -> Job:
+    def submit_run(
+        self, raw_spec: Dict[str, Any], tenant: str = DEFAULT_TENANT
+    ) -> Job:
         """Submit one run spec; returns the (possibly pre-existing) job."""
         spec = canonical_run_spec(raw_spec)
-        return self._submit("run", spec, spec_digest(spec))
+        return self._submit("run", spec, spec_digest(spec), tenant=tenant)
 
-    def submit_sweep(self, raw_spec: Dict[str, Any]) -> Job:
+    def submit_sweep(
+        self, raw_spec: Dict[str, Any], tenant: str = DEFAULT_TENANT
+    ) -> Job:
         """Submit one sweep spec; grid cells warm the shared cell cache."""
         spec = canonical_sweep_spec(raw_spec)
-        return self._submit("sweep", spec, spec_digest(spec))
+        return self._submit("sweep", spec, spec_digest(spec), tenant=tenant)
 
-    def submit_tasks(self, raw: Dict[str, Any]) -> Job:
+    def submit_tasks(
+        self, raw: Dict[str, Any], tenant: str = DEFAULT_TENANT
+    ) -> Job:
         """Submit a task graph; returns the (possibly pre-existing) job.
 
         ``raw`` is a graph document: ``{"tasks": [...], "outputs":
@@ -367,6 +425,7 @@ class JobScheduler:
             spec,
             graph_digest(graph, outputs),
             nodes=initial_statuses(graph),
+            tenant=tenant,
         )
 
     # ------------------------------------------------------------------
@@ -402,12 +461,30 @@ class JobScheduler:
         ``version`` from the last document you saw (``-1`` to get the
         current state immediately) -- this is the push-update primitive
         behind ``GET /v1/tasks/<id>?watch=<version>``.
+
+        Watching also *pins* the job against retention eviction: while a
+        watcher is attached -- and for ``watch_grace`` seconds after the
+        last one detaches -- a terminal job cannot be retired, so a
+        long-poller's next request finds the final document instead of
+        an "unknown job id" 404.
         """
-        job = self.job(job_id)
         with self._cv:
-            self._cv.wait_for(
-                lambda: job.finished or job.version != version, timeout=timeout
-            )
+            try:
+                job = self._jobs[job_id]
+            except KeyError:
+                raise ServiceError(f"unknown job id {job_id!r}") from None
+            self._watching[job_id] = self._watching.get(job_id, 0) + 1
+            try:
+                self._cv.wait_for(
+                    lambda: job.finished or job.version != version, timeout=timeout
+                )
+            finally:
+                remaining = self._watching[job_id] - 1
+                if remaining:
+                    self._watching[job_id] = remaining
+                else:
+                    del self._watching[job_id]
+                self._watched_until[job_id] = time.monotonic() + self._watch_grace
         return job
 
     def metrics(self) -> Dict[str, Any]:
@@ -416,7 +493,7 @@ class JobScheduler:
             by_state = {state: 0 for state in JOB_STATES}
             for job in self._jobs.values():
                 by_state[job.status] += 1
-            return {
+            doc = {
                 "jobs": by_state,
                 "queue_depth": len(self._queue),
                 "inflight": len(self._inflight),
@@ -424,6 +501,14 @@ class JobScheduler:
                 "journal_bytes": 0 if self._journal is None else self._journal.nbytes,
                 "cache": self.cache.stats(),
             }
+        if self.tenancy is not None:
+            doc["tenants"] = self.tenancy.metrics()
+        return doc
+
+    def queue_depth(self) -> int:
+        """How many jobs are queued right now (the backpressure signal)."""
+        with self._cv:
+            return len(self._queue)
 
     # ------------------------------------------------------------------
     # Recovery
@@ -479,7 +564,11 @@ class JobScheduler:
     def _restore(self, entry: JournalEntry) -> bool:
         """Under the lock: rebuild one journaled job.  True if re-enqueued."""
         job = Job(
-            job_id=entry.job_id, kind=entry.kind, digest=entry.digest, spec=entry.spec
+            job_id=entry.job_id,
+            kind=entry.kind,
+            digest=entry.digest,
+            spec=entry.spec,
+            tenant=entry.tenant,
         )
         if entry.status == "failed":
             job.status = "failed"
@@ -588,10 +677,34 @@ class JobScheduler:
 
     def _retire(self, job: Job) -> None:
         """Under the lock: record a terminal job, evicting the oldest past
-        the retention bound (results stay reachable through the cache)."""
+        the retention bound (results stay reachable through the cache).
+
+        Jobs with an attached long-poll watcher -- or watched within the
+        last ``watch_grace`` seconds -- are deferred instead of evicted,
+        so an active watcher's next poll still finds the terminal
+        document; deferred jobs are re-examined on later retirements and
+        dropped once their grace expires.
+        """
+        now = time.monotonic()
+        for job_id in list(self._watch_deferred):
+            if (
+                self._watching.get(job_id, 0) == 0
+                and self._watched_until.get(job_id, 0.0) <= now
+            ):
+                self._watch_deferred.discard(job_id)
+                self._watched_until.pop(job_id, None)
+                self._jobs.pop(job_id, None)
         self._finished.append(job.job_id)
         while len(self._finished) > self._max_finished:
-            self._jobs.pop(self._finished.popleft(), None)
+            victim = self._finished.popleft()
+            if (
+                self._watching.get(victim, 0) > 0
+                or self._watched_until.get(victim, 0.0) > now
+            ):
+                self._watch_deferred.add(victim)
+                continue
+            self._watched_until.pop(victim, None)
+            self._jobs.pop(victim, None)
 
     def _finish(self, job: Job, result: Optional[Dict[str, Any]], error: Optional[str]) -> None:
         """Publish a terminal state; cache success before releasing dedup."""
@@ -610,6 +723,13 @@ class JobScheduler:
             self._inflight.pop(job.digest, None)
             self._retire(job)
             self._journal_state(job.job_id, job.status, error=error)
+            if self.tenancy is not None:
+                nbytes = self.cache.entry_nbytes(job.digest) or 0
+                waiters = self._tenant_waiters.pop(job.digest, {job.tenant})
+                for tenant in waiters:
+                    self.tenancy.on_finish(
+                        tenant, job.digest, nbytes, failed=error is not None
+                    )
             self._cv.notify_all()
 
     def _dispatch_runs(self, group: List[Job]) -> None:

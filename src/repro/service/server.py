@@ -8,7 +8,7 @@ Endpoints
 ---------
 ======================  ====================================================
 ``GET /healthz``         liveness: ``{"status": "ok", "version": ...}``
-``GET /metrics``         scheduler + cache counters (JSON)
+``GET /metrics``         scheduler + cache + per-tenant + HTTP counters
 ``GET /v1/specs``        adversary registry + task kinds (names, params)
 ``POST /v1/runs``        submit a run spec -> ``{"job_id", "status", ...}``
 ``POST /v1/runs:batch``  submit ``{"specs": [...]}`` -> ``{"jobs": [...]}``
@@ -31,6 +31,31 @@ Submissions are answered immediately (the job runs in the scheduler's
 worker threads); clients poll ``GET /v1/runs/<id>`` -- see
 :class:`repro.service.client.ServiceClient.wait`.
 
+Hardening (all strictly opt-in -- a bare ``ServiceServer()`` behaves
+exactly like the pre-hardening service):
+
+* **auth** -- pass ``auth`` (a token->tenant dict or
+  :class:`~repro.service.tenancy.TokenAuthenticator`) and every request
+  except ``GET /healthz`` needs ``Authorization: Bearer <token>`` (401
+  otherwise); the token's tenant id flows into job records, the journal,
+  and per-tenant accounting;
+* **rate limiting + backpressure** -- per-tenant token buckets and a
+  global ``max_queue_depth`` turn excess submissions into
+  ``429 {"error", "reason", "retry_after"}`` with a ``Retry-After``
+  header; per-tenant byte/job quotas answer 429 with
+  ``reason="quota"``;
+* **request timeout** -- ``request_timeout`` bounds every socket read, so
+  a slow-loris client that declares a ``Content-Length`` and never sends
+  the bytes gets 408 and its connection dropped instead of pinning a
+  handler thread;
+* **client disconnects** -- a client that goes away mid-response (or
+  mid-long-poll) is swallowed quietly and counted in the
+  ``http.client_disconnects`` metric, never dumped as a traceback;
+* **structured request logs** -- with ``access_log`` enabled each request
+  emits one JSON line (method, path, tenant, status, duration, queue
+  depth) on the configured stream, replacing the silenced stdlib
+  ``log_message``.
+
 Binding ``port=0`` picks an ephemeral port (tests and CI); the bound
 address is available as :attr:`ServiceServer.url` after construction.
 """
@@ -38,27 +63,58 @@ address is available as :attr:`ServiceServer.url` after construction.
 from __future__ import annotations
 
 import json
+import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, TextIO, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro._version import __version__
-from repro.errors import ServiceError, SpecError
+from repro.errors import (
+    AuthenticationError,
+    QuotaExceededError,
+    RateLimitedError,
+    ServiceError,
+    SpecError,
+)
 from repro.service.cache import ResultCache
 from repro.service.journal import JobJournal
 from repro.service.scheduler import JobScheduler
 from repro.service.specs import describe_registry
 from repro.service.tasks import describe_task_kinds
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    TenantLimits,
+    TenantRegistry,
+    TokenAuthenticator,
+)
 
 #: Default request-body cap: far above any legitimate spec or task
 #: graph, far below what would let one request exhaust server memory.
 DEFAULT_MAX_BODY_BYTES = 32 * 1024 * 1024
 
+#: Default per-connection socket timeout (``serve --request-timeout``):
+#: long enough for the longest legitimate ``?watch=`` hold (60s) plus
+#: slack, short enough that a stalled client frees its thread promptly.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
 
 class _PayloadTooLarge(Exception):
     """Internal: a request body exceeded the configured cap (-> 413)."""
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    """Thread-per-connection HTTP server tuned for many clients at once.
+
+    The stdlib listen backlog of 5 resets connections when hundreds of
+    clients connect in the same instant (the load harness does exactly
+    that); a deeper backlog lets the accept loop absorb the burst.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -66,20 +122,50 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
     server_version = f"repro-service/{__version__}"
+    # Headers and body go out as two writes; without TCP_NODELAY, Nagle
+    # holds the second until the client's delayed ACK (~40 ms) arrives,
+    # capping warm-cache throughput at ~25 req/s per connection.
+    disable_nagle_algorithm = True
 
     # -- plumbing ------------------------------------------------------
+
+    def setup(self) -> None:
+        # A per-connection socket timeout: every blocking read -- the
+        # request line, headers, and crucially the Content-Length body a
+        # slow-loris client never sends -- raises TimeoutError past it,
+        # so a stalled client cannot pin this handler thread forever.
+        self.timeout = getattr(self.server, "request_timeout", None)
+        super().setup()
 
     def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003 - stdlib hook
         if getattr(self.server, "verbose", False):  # pragma: no cover - debug aid
             super().log_message(fmt, *args)
 
-    def _send_json(self, code: int, doc: Dict[str, Any]) -> None:
+    def _count(self, counter: str) -> None:
+        self.server.owner._count_http(counter)  # type: ignore[attr-defined]
+
+    def _send_json(
+        self,
+        code: int,
+        doc: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(doc).encode("utf-8")
-        self.send_response(code)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._status = code
+        try:
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client went away mid-response (a timed-out long-poller
+            # is the common case).  Nothing to answer and nobody to
+            # answer it to: count it, close, no traceback.
+            self._count("client_disconnects")
+            self.close_connection = True
 
     def _read_json(self) -> Dict[str, Any]:
         try:
@@ -110,15 +196,118 @@ class _Handler(BaseHTTPRequestHandler):
     def scheduler(self) -> JobScheduler:
         return self.server.scheduler  # type: ignore[attr-defined]
 
+    # -- request envelope: auth, 429/408 mapping, structured logging ---
+
+    def _authenticate(self, path: str) -> Optional[str]:
+        """The requesting tenant id, or ``None`` after sending a 401.
+
+        ``GET /healthz`` stays open (load balancers and liveness probes
+        do not carry tokens); everything else needs a valid bearer token
+        once an authenticator is configured.
+        """
+        auth: Optional[TokenAuthenticator] = getattr(self.server, "auth", None)
+        if auth is None:
+            return DEFAULT_TENANT
+        if path == "/healthz":
+            return "-"
+        try:
+            return auth.authenticate(self.headers.get("Authorization"))
+        except AuthenticationError as exc:
+            self._count("auth_failures")
+            self.close_connection = True
+            self._send_json(
+                401, {"error": str(exc)}, headers={"WWW-Authenticate": "Bearer"}
+            )
+            return None
+
+    def _send_throttled(self, exc: RateLimitedError) -> None:
+        """429 with ``Retry-After``; quota rejections are labelled so the
+        client can tell "wait and retry" from "you are out of budget"."""
+        self._count("rate_limited")
+        # The request body (if any) was never read -- close so a
+        # keep-alive connection cannot misparse it as the next request.
+        self.close_connection = True
+        retry_after = 1.0 if exc.retry_after is None else max(0.0, exc.retry_after)
+        self._send_json(
+            429,
+            {
+                "error": str(exc),
+                "reason": "quota" if isinstance(exc, QuotaExceededError) else "rate-limited",
+                "retry_after": retry_after,
+            },
+            headers={"Retry-After": f"{max(1, int(retry_after + 0.999))}"},
+        )
+
+    def _dispatch(self, handler: Any) -> None:
+        """Wrap one request: authenticate, route, map hangs/disconnects.
+
+        Every outcome -- success, 4xx, a stalled read (408), a vanished
+        client -- funnels through here so the structured request log
+        sees all of them and no handler thread ever dies with a
+        traceback for a client-side failure.
+        """
+        t0 = time.monotonic()
+        self._status: Optional[int] = None
+        self._tenant: Optional[str] = None
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            self._count("requests")
+            tenant = self._authenticate(path)
+            if tenant is None:
+                return
+            self._tenant = tenant
+            handler(path, tenant)
+        except RateLimitedError as exc:
+            self._send_throttled(exc)
+        except TimeoutError:
+            # The socket timed out mid-read: the client declared bytes it
+            # never sent (slow loris) or stalled mid-body.  Best-effort
+            # 408, then drop the connection -- the thread must come back.
+            self._count("request_timeouts")
+            self.close_connection = True
+            self._send_json(408, {"error": "request timed out waiting for the body"})
+        except (BrokenPipeError, ConnectionResetError):
+            self._count("client_disconnects")
+            self.close_connection = True
+        finally:
+            self._log_request(path, time.monotonic() - t0)
+
+    def _log_request(self, path: str, duration: float) -> None:
+        """One structured JSON line per request on the configured stream."""
+        stream: Optional[TextIO] = getattr(self.server, "access_log_stream", None)
+        if stream is None:
+            return
+        record = {
+            "ts": round(time.time(), 3),
+            "method": self.command,
+            "path": path,
+            "tenant": self._tenant,
+            "status": self._status,
+            "duration_ms": round(duration * 1000.0, 3),
+            "queue_depth": self.scheduler.queue_depth(),
+        }
+        try:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+            stream.flush()
+        except (OSError, ValueError):  # pragma: no cover - log stream closed
+            pass
+
     # -- routes --------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        self._dispatch(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch(self._handle_post)
+
+    def _handle_get(self, path: str, tenant: str) -> None:
         if path == "/healthz":
             self._send_json(200, {"status": "ok", "version": __version__})
             return
         if path == "/metrics":
-            self._send_json(200, self.scheduler.metrics())
+            doc = self.scheduler.metrics()
+            doc["http"] = self.server.owner.http_metrics()  # type: ignore[attr-defined]
+            self._send_json(200, doc)
             return
         if path == "/v1/specs":
             self._send_json(
@@ -169,26 +358,48 @@ class _Handler(BaseHTTPRequestHandler):
         timeout = max(0.0, min(timeout, 60.0))
         return self.scheduler.wait_for_update(job_id, version=version, timeout=timeout)
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        path = self.path.split("?", 1)[0].rstrip("/")
+    def _check_backpressure(self) -> None:
+        """Global queue-depth backpressure, before any spec is parsed.
+
+        Per-tenant buckets cannot protect the server from many distinct
+        tenants at once; the queue-depth cap is the service-wide wall.
+        """
+        limit = getattr(self.server, "max_queue_depth", None)
+        if limit is None:
+            return
+        depth = self.scheduler.queue_depth()
+        if depth >= limit:
+            raise RateLimitedError(
+                f"job queue is full ({depth} queued, limit {limit}); "
+                "retry shortly",
+                retry_after=1.0,
+            )
+
+    def _handle_post(self, path: str, tenant: str) -> None:
         if path == "/v1/shutdown":
             self._send_json(200, {"status": "shutting-down"})
             self.server.owner.stop_async()  # type: ignore[attr-defined]
             return
-        if path == "/v1/runs:batch":
-            self._post_runs_batch()
-            return
-        if path not in ("/v1/runs", "/v1/sweeps", "/v1/tasks"):
+        if path not in ("/v1/runs", "/v1/sweeps", "/v1/tasks", "/v1/runs:batch"):
             self._send_json(404, {"error": f"unknown path {path!r}"})
+            return
+        # Admission control happens before the body is parsed: a
+        # throttled client should be turned away as cheaply as possible.
+        tenancy: Optional[TenantRegistry] = getattr(self.server, "tenancy", None)
+        if tenancy is not None:
+            tenancy.admit(tenant)
+        self._check_backpressure()
+        if path == "/v1/runs:batch":
+            self._post_runs_batch(tenant)
             return
         try:
             spec = self._read_json()
             if path == "/v1/runs":
-                job = self.scheduler.submit_run(spec)
+                job = self.scheduler.submit_run(spec, tenant=tenant)
             elif path == "/v1/sweeps":
-                job = self.scheduler.submit_sweep(spec)
+                job = self.scheduler.submit_sweep(spec, tenant=tenant)
             else:
-                job = self.scheduler.submit_tasks(spec)
+                job = self.scheduler.submit_tasks(spec, tenant=tenant)
         except _PayloadTooLarge as exc:
             self._send_too_large(exc)
             return
@@ -204,12 +415,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.close_connection = True
         self._send_json(413, {"error": str(exc)})
 
-    def _post_runs_batch(self) -> None:
+    def _post_runs_batch(self, tenant: str) -> None:
         """``POST /v1/runs:batch``: per-item envelopes, in submission order.
 
         Each spec is submitted independently -- a malformed item becomes
         an ``{"error": ...}`` entry at its position while the valid items
         still enqueue (and dedup) exactly as single submissions would.
+        A tenant running out of quota mid-batch errors the remaining
+        items in place rather than failing the whole request.
         """
         try:
             body = self._read_json()
@@ -226,8 +439,8 @@ class _Handler(BaseHTTPRequestHandler):
         jobs = []
         for spec in specs:
             try:
-                job = self.scheduler.submit_run(spec)
-            except SpecError as exc:
+                job = self.scheduler.submit_run(spec, tenant=tenant)
+            except (SpecError, QuotaExceededError) as exc:
                 jobs.append({"error": str(exc)})
             else:
                 jobs.append(job.to_doc(include_result=False))
@@ -266,6 +479,30 @@ class ServiceServer:
     max_body_bytes:
         Request-body cap (default 32 MiB); larger bodies are rejected
         with ``413`` before allocation.
+    auth:
+        ``None`` (open, the default), a ``{token: tenant}`` dict, or a
+        :class:`~repro.service.tenancy.TokenAuthenticator`.  When set,
+        every request except ``GET /healthz`` must carry a valid
+        ``Authorization: Bearer`` token (401 otherwise) and runs as the
+        token's tenant.
+    tenancy:
+        Optional pre-built :class:`~repro.service.tenancy.TenantRegistry`;
+        built from ``tenant_limits`` when omitted and any limit is set.
+    tenant_limits:
+        Default per-tenant :class:`~repro.service.tenancy.TenantLimits`
+        (rate/burst/max_bytes/max_jobs) applied to tenants without an
+        explicit override.
+    max_queue_depth:
+        Global backpressure: submissions arriving while this many jobs
+        are already queued answer ``429`` + ``Retry-After``.
+    request_timeout:
+        Per-connection socket timeout in seconds (default 30); a client
+        that stalls mid-request gets 408 and is disconnected.  ``None``
+        disables (not recommended outside tests).
+    access_log:
+        When true, emit one structured JSON line per request (method,
+        path, tenant, status, duration, queue depth) to ``log_stream``
+        (default ``sys.stderr``).
 
     Use as a context manager (``with ServiceServer() as srv:``) or call
     :meth:`start` / :meth:`stop` explicitly.  :meth:`serve_forever`
@@ -285,25 +522,73 @@ class ServiceServer:
         scheduler_workers: int = 1,
         journal: Optional[Union[JobJournal, str, Path]] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        auth: Optional[Union[TokenAuthenticator, Dict[str, str]]] = None,
+        tenancy: Optional[TenantRegistry] = None,
+        tenant_limits: Optional[TenantLimits] = None,
+        max_queue_depth: Optional[int] = None,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
+        access_log: bool = False,
+        log_stream: Optional[TextIO] = None,
     ) -> None:
         if max_body_bytes < 1:
             raise ServiceError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ServiceError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
+            )
+        if request_timeout is not None and request_timeout <= 0:
+            raise ServiceError(
+                f"request_timeout must be > 0 or None, got {request_timeout}"
+            )
         if cache is None:
             cache = ResultCache(
                 path=cache_path, capacity=cache_capacity, max_bytes=cache_max_bytes
             )
+        if isinstance(auth, dict):
+            auth = TokenAuthenticator(auth)
+        if tenancy is None and tenant_limits is not None:
+            tenancy = TenantRegistry(default_limits=tenant_limits)
+        self.auth = auth
+        self.tenancy = tenancy
         self.scheduler = JobScheduler(
-            executor=executor, cache=cache, workers=scheduler_workers, journal=journal
+            executor=executor,
+            cache=cache,
+            workers=scheduler_workers,
+            journal=journal,
+            tenancy=tenancy,
         )
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _ThreadingServer((host, port), _Handler)
         self._httpd.scheduler = self.scheduler  # type: ignore[attr-defined]
         self._httpd.owner = self  # type: ignore[attr-defined]
         self._httpd.max_body_bytes = max_body_bytes  # type: ignore[attr-defined]
+        self._httpd.auth = auth  # type: ignore[attr-defined]
+        self._httpd.tenancy = tenancy  # type: ignore[attr-defined]
+        self._httpd.max_queue_depth = max_queue_depth  # type: ignore[attr-defined]
+        self._httpd.request_timeout = request_timeout  # type: ignore[attr-defined]
+        self._httpd.access_log_stream = (  # type: ignore[attr-defined]
+            (log_stream or sys.stderr) if access_log else None
+        )
+        self._http_lock = threading.Lock()
+        self._http_counters = {
+            "requests": 0,
+            "auth_failures": 0,
+            "rate_limited": 0,
+            "request_timeouts": 0,
+            "client_disconnects": 0,
+        }
         self._thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
         self._stop_lock = threading.Lock()
         self._closed = False
+
+    def _count_http(self, counter: str) -> None:
+        with self._http_lock:
+            self._http_counters[counter] += 1
+
+    def http_metrics(self) -> Dict[str, int]:
+        """HTTP-layer counter snapshot (the ``/metrics`` ``http`` block)."""
+        with self._http_lock:
+            return dict(self._http_counters)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -382,4 +667,4 @@ class ServiceServer:
         self.stop()
 
 
-__all__ = ["ServiceServer"]
+__all__ = ["DEFAULT_MAX_BODY_BYTES", "DEFAULT_REQUEST_TIMEOUT", "ServiceServer"]
