@@ -75,6 +75,20 @@ class Adversary:
         """
         return None
 
+    def compile_static_row(self, n: int) -> Optional[np.ndarray]:
+        """The single parent row of a *static* schedule, or ``None``.
+
+        Strictly stronger contract than :meth:`compile_schedule`: the
+        adversary must play the tree described by this ``(n,)`` parent
+        row at **every** round, forever.  Executors then skip the
+        round-by-round loop entirely and binary-search ``t*`` via
+        :func:`repro.core.kernels.static_completion_search` -- ``O(log
+        t*)`` compositions, byte-identical to playing the row each round.
+        Return ``None`` (the default) whenever the schedule is not
+        provably static; a wrong row here silently corrupts results.
+        """
+        return None
+
     def reset(self) -> None:
         """Forget per-run state so the adversary can be reused."""
 
@@ -141,6 +155,23 @@ class SequenceAdversary(Adversary):
         if self._trees[0].n != n:
             return None
         return sequence_schedule(self._trees, rounds, after=self._after)
+
+    def compile_static_row(self, n: int) -> Optional[np.ndarray]:
+        """Static iff every tree in the sequence is the same tree.
+
+        ``after='error'`` is never static: the uncompiled path raises
+        once the sequence is exhausted, so jumping past it would change
+        observable behaviour.
+        """
+        from repro.trees.compile import parent_row
+
+        if self._trees[0].n != n or self._after == "error":
+            return None
+        first = parent_row(self._trees[0])
+        for tree in self._trees[1:]:
+            if not np.array_equal(parent_row(tree), first):
+                return None
+        return first
 
     def __len__(self) -> int:
         return len(self._trees)

@@ -47,6 +47,13 @@ class StaticTreeAdversary(Adversary):
             return None
         return static_schedule(self._tree, rounds)
 
+    def compile_static_row(self, n: int) -> Optional[np.ndarray]:
+        from repro.trees.compile import parent_row
+
+        if self._tree.n != n:
+            return None
+        return parent_row(self._tree)
+
 
 class RoundRobinAdversary(Adversary):
     """Cycle through a fixed list of trees, round-robin."""
@@ -71,6 +78,14 @@ class RoundRobinAdversary(Adversary):
         if self._trees[0].n != n:
             return None
         return cycle_schedule(self._trees, rounds)
+
+    def compile_static_row(self, n: int) -> Optional[np.ndarray]:
+        """A one-tree round robin is a static schedule."""
+        from repro.trees.compile import parent_row
+
+        if len(self._trees) != 1 or self._trees[0].n != n:
+            return None
+        return parent_row(self._trees[0])
 
 
 class RandomTreeAdversary(Adversary):

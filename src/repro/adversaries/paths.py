@@ -49,6 +49,13 @@ class StaticPathAdversary(Adversary):
             return None
         return static_schedule(self._tree, rounds)
 
+    def compile_static_row(self, n: int) -> Optional[np.ndarray]:
+        from repro.trees.compile import parent_row
+
+        if self._tree.n != n:
+            return None
+        return parent_row(self._tree)
+
 
 class AlternatingPathAdversary(Adversary):
     """Alternate between the forward and the reversed identity path.
@@ -131,6 +138,14 @@ class RotatingPathAdversary(Adversary):
             return distinct[np.arange(rounds, dtype=np.int64) % period]
 
         return cached_schedule(("rotating-path", n, self._shift, rounds), build)
+
+    def compile_static_row(self, n: int) -> Optional[np.ndarray]:
+        """``shift % n == 0`` plays the same rotation every round."""
+        from repro.trees.compile import parent_row
+
+        if self._n != n or self._shift != 0:
+            return None
+        return parent_row(self.next_tree(None, 1))
 
 
 class SortedPathAdversary(Adversary):

@@ -39,7 +39,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.errors import BackendError
+from repro.errors import BackendError, DimensionMismatchError
 
 #: Environment variable consulted when no default backend was set in-process.
 ENV_VAR = "REPRO_BACKEND"
@@ -104,6 +104,23 @@ class MatrixBackend:
         from repro.core import matrix as M
 
         return self.from_dense(M.bool_product(self.to_dense(mat), dense_graph))
+
+    def or_gather(
+        self, mat: np.ndarray, other: np.ndarray, parents: np.ndarray
+    ) -> np.ndarray:
+        """New handle ``A | (B ∘ J)`` for the jump-pointer squaring ladder.
+
+        ``parents`` is an ``(n,)`` int64 jump array; in heard-of terms the
+        result is ``heard'[y] = heard_A[y] | heard_B[parents[y]]``.  With
+        ``other is mat`` and ``parents`` a tree's parent row this equals
+        :meth:`compose_with_tree`; :func:`repro.core.kernels.static_completion_search`
+        uses the two-operand form to combine precomputed tree powers.
+        The default routes through dense; both shipped backends override
+        with a one-expression gather + OR.
+        """
+        a = self.to_dense(mat)
+        b = self.to_dense(other)
+        return self.from_dense(a | b[:, parents])
 
     def reach_sizes(self, mat: np.ndarray) -> np.ndarray:
         """Row sums: how many nodes each process has reached."""
@@ -217,12 +234,23 @@ class DenseBackend(MatrixBackend):
         return mat.view()
 
     def compose_with_graph(self, mat: np.ndarray, dense_graph: np.ndarray) -> np.ndarray:
+        from repro.core import kernels
         from repro.core import matrix as M
 
-        return M.bool_product(mat, dense_graph)
+        g = M.validate_adjacency(dense_graph)
+        if g.shape[0] != mat.shape[0]:
+            raise DimensionMismatchError(
+                f"cannot compose graphs over {mat.shape[0]} and {g.shape[0]} nodes"
+            )
+        return kernels.graph_compose(self, mat, g)
 
     def compose_with_tree(self, mat: np.ndarray, parent: np.ndarray) -> np.ndarray:
         return mat | mat[:, parent]
+
+    def or_gather(
+        self, mat: np.ndarray, other: np.ndarray, parents: np.ndarray
+    ) -> np.ndarray:
+        return mat | other[:, parents]
 
     def compose_with_tree_inplace(self, mat: np.ndarray, parent: np.ndarray) -> np.ndarray:
         np.logical_or(mat, mat[:, parent], out=mat)

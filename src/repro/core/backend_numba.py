@@ -1,0 +1,111 @@
+"""Optional numba-jitted bitset backend (registry name ``numba``).
+
+Registers only when ``importlib.util.find_spec("numba")`` succeeds (and
+the host is little-endian, same as the bitset backend it subclasses) --
+numba is never a hard dependency, and every test touching this backend
+skips cleanly when it is absent.
+
+The handle layout is exactly :class:`~repro.core.bitset.BitsetBackend`'s
+``(n, words)`` uint64 packed heard-of sets, so every inherited kernel
+(batched compose, reach counts, conversion) stays valid; only the three
+hottest single-run loops are replaced with jitted versions that fuse the
+gather and the OR into one pass with no ``mat[parent]`` temporary:
+
+* :meth:`compose_with_tree` / :meth:`compose_with_tree_inplace`
+* :meth:`or_gather` (the repeated-squaring ladder step)
+* the AND-reduction behind broadcaster detection
+
+Bit-identity note: the jitted compose writes into a separate output
+buffer.  An in-place row loop ``mat[y] |= mat[parent[y]]`` would read
+rows already updated this round whenever ``parent[y] < y``, silently
+computing a *different* (2-step) round -- the out-buffer form keeps the
+backend byte-identical to the numpy gather-copy semantics.
+
+Compilation is lazy: the first composed round pays the JIT cost, so
+short-lived processes that never touch the backend never compile.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.backend import register_backend
+from repro.core.bitset import BitsetBackend
+
+#: True when the `numba` backend registered at import time.
+NUMBA_AVAILABLE = importlib.util.find_spec("numba") is not None
+
+_jit_cache: Optional[Dict[str, Callable]] = None
+
+
+def _jitted() -> Dict[str, Callable]:
+    """Compile the kernels once, on first use."""
+    global _jit_cache
+    if _jit_cache is None:
+        import numba
+
+        @numba.njit(cache=False)
+        def or_gather(mat, other, parents, out):  # pragma: no cover - jitted
+            n, words = mat.shape
+            for y in range(n):
+                p = parents[y]
+                for w in range(words):
+                    out[y, w] = mat[y, w] | other[p, w]
+
+        @numba.njit(cache=False)
+        def and_reduce(mat, out):  # pragma: no cover - jitted
+            n, words = mat.shape
+            for w in range(words):
+                out[w] = mat[0, w]
+            for y in range(1, n):
+                for w in range(words):
+                    out[w] &= mat[y, w]
+
+        _jit_cache = {"or_gather": or_gather, "and_reduce": and_reduce}
+    return _jit_cache
+
+
+class NumbaBitsetBackend(BitsetBackend):
+    """Bitset layout with numba-jitted compose / reduce hot loops."""
+
+    name = "numba"
+    #: Same packed handle layout as bitset, so its kernel table applies.
+    kernel_namespace = "bitset"
+
+    def compose_with_tree(self, mat: np.ndarray, parent: np.ndarray) -> np.ndarray:
+        out = np.empty_like(mat)
+        _jitted()["or_gather"](
+            mat, mat, np.asarray(parent, dtype=np.int64), out
+        )
+        return out
+
+    def compose_with_tree_inplace(self, mat: np.ndarray, parent: np.ndarray) -> np.ndarray:
+        # Compute into a fresh buffer first: updating rows in place would
+        # leak this round's bits through parent chains (see module doc).
+        out = self.compose_with_tree(mat, parent)
+        mat[:] = out
+        return mat
+
+    def or_gather(
+        self, mat: np.ndarray, other: np.ndarray, parents: np.ndarray
+    ) -> np.ndarray:
+        out = np.empty_like(mat)
+        _jitted()["or_gather"](
+            mat, other, np.asarray(parents, dtype=np.int64), out
+        )
+        return out
+
+    def _full_row_words(self, mat: np.ndarray) -> np.ndarray:
+        out = np.empty(mat.shape[1], dtype=np.uint64)
+        _jitted()["and_reduce"](mat, out)
+        return out
+
+
+if NUMBA_AVAILABLE and sys.byteorder == "little":
+    register_backend(NumbaBitsetBackend())
+
+__all__ = ["NUMBA_AVAILABLE", "NumbaBitsetBackend"]

@@ -57,6 +57,7 @@ import numpy as np
 from repro.core.backend import BackendLike, get_backend
 from repro.core.bounds import resolve_round_cap
 from repro.core.broadcast import BroadcastResult, RoundSnapshot
+from repro.core.kernels import static_completion_search
 from repro.core.state import BroadcastState
 from repro.engine.batch import BatchRunner
 from repro.engine.events import RoundRecord
@@ -233,6 +234,54 @@ def _parents_hook(adv: AdversaryProtocol):
     if fn is None or fn is Adversary.next_parents:
         return None
     return adv.next_parents
+
+
+def _static_parent_row(adv: AdversaryProtocol, n: int) -> Optional[np.ndarray]:
+    """The adversary's static-schedule parent row, shape-checked, or ``None``."""
+    fn = getattr(adv, "compile_static_row", None)
+    if fn is None:
+        return None
+    row = fn(n)
+    if row is None:
+        return None
+    row = np.asarray(row, dtype=np.int64)
+    if row.shape != (n,):
+        return None
+    return row
+
+
+def _static_report(
+    spec: RunSpec,
+    name: str,
+    row: np.ndarray,
+    n: int,
+    cap: int,
+    explicit: bool,
+    executor_name: str,
+) -> RunReport:
+    """One static-schedule run via the repeated-squaring t* search.
+
+    Byte-identical to the round-by-round loop (the search composes the
+    exact same parent row) with identical cap semantics: a non-explicit
+    cap raises, an explicit one truncates with the state after exactly
+    ``cap`` rounds.
+    """
+    backend = get_backend(spec.backend)
+    t_star, mat, rounds = static_completion_search(backend, row, n, cap)
+    if t_star is None and not explicit:
+        raise _cap_error([name], cap)
+    state = BroadcastState._wrap(mat, n, rounds, backend)
+    return RunReport(
+        t_star=t_star,
+        n=n,
+        rounds=rounds,
+        adversary_name=name,
+        broadcasters=state.broadcasters() if t_star is not None else (),
+        final_state=state,
+        seed=spec.seed,
+        compiled=True,
+        executor=executor_name,
+    )
 
 
 def _cap_error(names: Sequence[str], cap: int) -> AdversaryError:
@@ -418,13 +467,19 @@ class SequentialExecutor(Executor):
 
     ``use_compiled=False`` disables the compiled-schedule fast path
     (ablation benchmarks and the bit-identity tests use this to pin the
-    two paths against each other).
+    two paths against each other).  ``use_squaring`` (default: follows
+    ``use_compiled``) separately gates the repeated-squaring t* search
+    for static schedules, so benchmarks can pin squaring against the
+    compiled round-by-round loop.
     """
 
     name = "sequential"
 
-    def __init__(self, use_compiled: bool = True) -> None:
+    def __init__(
+        self, use_compiled: bool = True, use_squaring: Optional[bool] = None
+    ) -> None:
         self._use_compiled = use_compiled
+        self._use_squaring = use_compiled if use_squaring is None else use_squaring
 
     def run_many(self, specs: Sequence[RunSpec]) -> List[RunReport]:
         return [self.run(spec) for spec in specs]
@@ -436,6 +491,10 @@ class SequentialExecutor(Executor):
         name = spec.display_name(adv)
         level = spec.instrumentation
         want_stats = level in ("history", "trace")
+        if level == "none" and not spec.keep_trees and self._use_squaring:
+            row = _static_parent_row(adv, n)
+            if row is not None:
+                return _static_report(spec, name, row, n, cap, explicit, self.name)
         recorder = TraceRecorder(n, name, seed=spec.seed) if level == "trace" else None
         collector = MetricsCollector(n) if level == "trace" else None
         history: List[RoundSnapshot] = []
@@ -523,9 +582,14 @@ class BatchExecutor(Executor):
 
     name = "batch"
 
-    def __init__(self, use_compiled: bool = True) -> None:
+    def __init__(
+        self, use_compiled: bool = True, use_squaring: Optional[bool] = None
+    ) -> None:
         self._use_compiled = use_compiled
-        self._sequential = SequentialExecutor(use_compiled=use_compiled)
+        self._use_squaring = use_compiled if use_squaring is None else use_squaring
+        self._sequential = SequentialExecutor(
+            use_compiled=use_compiled, use_squaring=use_squaring
+        )
 
     def run_many(self, specs: Sequence[RunSpec]) -> List[RunReport]:
         reports: List[Optional[RunReport]] = [None] * len(specs)
@@ -545,8 +609,25 @@ class BatchExecutor(Executor):
         n = group[0].n
         backend = get_backend(group[0].backend)
         cap, explicit = group[0].round_cap()
-        advs = [spec.make_adversary() for spec in group]
-        names = [spec.display_name(adv) for spec, adv in zip(group, advs)]
+        all_advs = [spec.make_adversary() for spec in group]
+        all_names = [spec.display_name(adv) for spec, adv in zip(group, all_advs)]
+        results: List[Optional[RunReport]] = [None] * len(group)
+        live: List[int] = []
+        for idx, adv in enumerate(all_advs):
+            row = _static_parent_row(adv, n) if self._use_squaring else None
+            if row is not None:
+                # Static schedules skip the lockstep loop entirely: the
+                # squaring search finishes in O(log t*) compositions.
+                results[idx] = _static_report(
+                    group[idx], all_names[idx], row, n, cap, explicit, self.name
+                )
+            else:
+                live.append(idx)
+        if not live:
+            return results
+        group = [group[i] for i in live]
+        advs = [all_advs[i] for i in live]
+        names = [all_names[i] for i in live]
         cursors: List[Optional[_ScheduleCursor]] = [
             _ScheduleCursor.try_compile(adv, n, cap) if self._use_compiled else None
             for adv in advs
@@ -587,24 +668,21 @@ class BatchExecutor(Executor):
                 tree = _validated_tree(adv.next_tree(runner.state_view(b), t), n)
                 parents[b] = tree.parent_array_numpy()
             runner.step_parents(parents)
-        reports = []
-        for b, spec in enumerate(group):
+        for b, (idx, spec) in enumerate(zip(live, group)):
             t_star = runner.t_star(b)
             final = runner.state(b, round_index=t_star)
-            reports.append(
-                RunReport(
-                    t_star=t_star,
-                    n=n,
-                    rounds=final.round_index,
-                    adversary_name=names[b],
-                    broadcasters=runner.broadcasters(b) if t_star is not None else (),
-                    final_state=final,
-                    seed=spec.seed,
-                    compiled=compiled[b],
-                    executor=self.name,
-                )
+            results[idx] = RunReport(
+                t_star=t_star,
+                n=n,
+                rounds=final.round_index,
+                adversary_name=names[b],
+                broadcasters=runner.broadcasters(b) if t_star is not None else (),
+                final_state=final,
+                seed=spec.seed,
+                compiled=compiled[b],
+                executor=self.name,
             )
-        return reports
+        return results
 
 
 def _spec_shard_worker(

@@ -503,6 +503,11 @@ class JobScheduler:
             }
         if self.tenancy is not None:
             doc["tenants"] = self.tenancy.metrics()
+        # Execution detail only: kernel choice never enters spec digests,
+        # so operators can flip REPRO_KERNEL without invalidating caches.
+        from repro.core.kernels import kernel_table
+
+        doc["kernels"] = kernel_table()
         return doc
 
     def queue_depth(self) -> int:

@@ -29,6 +29,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.core import kernels
 from repro.core import matrix as M
 from repro.core.backend import get_backend, use_backend
 from repro.core.bounds import trivial_upper_bound, upper_bound
@@ -238,3 +239,25 @@ def test_backends_agree_on_tstar(seq):
         run_sequence(trees, n=n, backend="dense").t_star
         == run_sequence(trees, n=n, backend="bitset").t_star
     )
+
+
+KERNEL_PAIRS = [
+    (backend, kernel)
+    for backend in BACKENDS
+    for kernel in kernels.available_kernels(backend)
+]
+
+
+@pytest.mark.parametrize("backend,kernel", KERNEL_PAIRS)
+@FUZZ
+@given(reflexive_matrices(), st.integers(0, 2**31 - 1))
+def test_forced_kernel_compose_matches_reference(backend, kernel, a, seed):
+    """Every registered kernel computes exactly ``bool_product``."""
+    n = a.shape[0]
+    rng = np.random.default_rng(seed)
+    g = rng.random((n, n)) < 0.3
+    np.fill_diagonal(g, True)
+    bk = get_backend(backend)
+    with kernels.use_kernel(kernel):
+        got = bk.to_dense(bk.compose_with_graph(bk.from_dense(a), g))
+    assert (got == M.bool_product(a, g)).all()

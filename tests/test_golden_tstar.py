@@ -152,3 +152,43 @@ class TestBatchedCyclicScorerDecisions:
         assert state.round_index == run_adversary(
             CyclicFamilyAdversary(n, m_stride=stride), n
         ).t_star
+
+
+class TestSquaringReproducesGolden:
+    """The repeated-squaring search lands on the same golden t* values.
+
+    The static-path rows of the fixture are reproduced three ways: the
+    squaring fast path (the default), the compiled round-by-round loop
+    (``use_squaring=False``), and the uncompiled loop
+    (``use_compiled=False``) -- all three must agree with the recorded
+    ``n - 1`` on both backends, byte-identical final states included.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n", NS)
+    def test_static_path_squaring_matches_golden(self, backend, n):
+        from repro.engine.executor import RunSpec, SequentialExecutor
+
+        golden = GOLDEN["static_path"][str(n)]
+        spec = RunSpec(adversary=StaticPathAdversary(n), n=n, backend=backend)
+        squared = SequentialExecutor().run(spec)
+        looped = SequentialExecutor(use_squaring=False).run(spec)
+        uncompiled = SequentialExecutor(use_compiled=False).run(spec)
+        assert squared.t_star == looped.t_star == uncompiled.t_star == golden
+        assert squared.compiled
+        assert squared.final_state.key() == looped.final_state.key()
+        assert squared.final_state.key() == uncompiled.final_state.key()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n", NS)
+    def test_random_static_tree_squaring_vs_loop(self, backend, n):
+        from repro.adversaries.oblivious import StaticTreeAdversary
+        from repro.engine.executor import RunSpec, SequentialExecutor
+
+        adv = StaticTreeAdversary(random_tree(n, np.random.default_rng(n)))
+        spec = RunSpec(adversary=adv, n=n, backend=backend)
+        squared = SequentialExecutor().run(spec)
+        looped = SequentialExecutor(use_squaring=False).run(spec)
+        assert squared.t_star == looped.t_star
+        assert squared.broadcasters == looped.broadcasters
+        assert squared.final_state.key() == looped.final_state.key()
