@@ -13,6 +13,7 @@ Subcommands
 ``submit``    submit one declarative run spec to a running service
 ``task``      submit/inspect task graphs on a running service (submit | status)
 ``cache``     inspect or clear a persistent result cache (stats | clear)
+``obs``       export or summarize span trace files (export | top)
 
 Examples
 --------
@@ -37,6 +38,9 @@ Examples
         --file graph.json --wait
     repro-broadcast task status job-000001 --url http://127.0.0.1:8642
     repro-broadcast cache stats --path results.jsonl
+    repro-broadcast serve --trace spans.jsonl
+    repro-broadcast obs export --chrome --path spans.jsonl --out trace.json
+    repro-broadcast obs top --path spans.jsonl
 """
 
 from __future__ import annotations
@@ -404,6 +408,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import ServiceServer
     from repro.service.tenancy import TenantLimits, TenantRegistry
 
+    if args.trace:
+        # Enable before the server exists so startup work (recovery,
+        # cache load) is traced too.  Profiling rides along: the span
+        # file then carries per-kernel rows for ``repro obs top``.
+        from repro.obs import profile as obs_profile
+        from repro.obs import trace as obs_trace
+
+        obs_trace.enable(args.trace)
+        obs_profile.enable()
     try:
         auth, per_tenant = _build_auth(args)
         default_limits = TenantLimits(
@@ -451,6 +464,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.cache:
         print(f"result cache persisted to {args.cache}")
+    if args.trace:
+        print(
+            f"tracing enabled: spans appended to {args.trace} "
+            f"(view with 'repro-broadcast obs export --chrome --path {args.trace}')"
+        )
     if args.journal:
         # Recover eagerly (idempotent -- start() would otherwise do it)
         # so the banner can report how much of the journal came back.
@@ -638,6 +656,101 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
     rows = sorted(cache.stats().items())
     print(format_table(["counter", "value"], rows, title=f"Cache {args.path}"))
+    return 0
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    """Export a span JSONL file as raw spans or Chrome trace-event JSON."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import trace as obs_trace
+
+    spans = obs_trace.read_spans(args.path)
+    if not spans:
+        print(f"no spans in {args.path}", file=sys.stderr)
+        return 1
+    if args.chrome:
+        doc = obs_trace.chrome_trace(spans)
+    else:
+        doc = {"spans": spans, "trees": obs_trace.span_trees(spans)}
+    text = json.dumps(doc, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {len(spans)} spans to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_obs_top(args: argparse.Namespace) -> int:
+    """Summarize a span file: hottest kernels, per-executor phase split."""
+    from repro.analysis.tables import format_table
+    from repro.obs import trace as obs_trace
+    from repro.obs.profile import n_bucket
+
+    spans = obs_trace.read_spans(args.path)
+    if not spans:
+        print(f"no spans in {args.path}", file=sys.stderr)
+        return 1
+
+    kernels: Dict[str, List[float]] = {}
+    phases: Dict[str, List[float]] = {}
+    for span in spans:
+        attrs = span.get("attrs", {})
+        if span.get("name") == "kernel":
+            bucket = n_bucket(int(attrs.get("n", 0)))
+            key = f"{attrs.get('backend', '?')}/{attrs.get('kernel', '?')}/{bucket}"
+            cell = kernels.setdefault(key, [0.0, 0.0])
+            cell[0] += 1
+            cell[1] += float(span.get("dur", 0.0))
+        elif "decision_s" in attrs and "kernel_s" in attrs:
+            executor = str(attrs.get("executor", "?"))
+            cell = phases.setdefault(executor, [0.0, 0.0, 0.0])
+            cell[0] += 1
+            cell[1] += float(attrs["decision_s"])
+            cell[2] += float(attrs["kernel_s"])
+
+    if kernels:
+        rows = sorted(
+            (
+                (key, int(calls), f"{seconds:.6f}")
+                for key, (calls, seconds) in kernels.items()
+            ),
+            key=lambda row: -float(row[2]),
+        )[: args.limit]
+        print(
+            format_table(
+                ["backend/kernel/bucket", "calls", "seconds"],
+                rows,
+                title=f"Kernels ({args.path})",
+            )
+        )
+    if phases:
+        rows = [
+            (
+                executor,
+                int(runs),
+                f"{dec:.6f}",
+                f"{ker:.6f}",
+                f"{(dec / (dec + ker) * 100.0) if dec + ker > 0 else 0.0:.1f}%",
+            )
+            for executor, (runs, dec, ker) in sorted(phases.items())
+        ]
+        print(
+            format_table(
+                ["executor", "runs", "decision_s", "kernel_s", "decision_share"],
+                rows,
+                title="Executor phase split (adversary decisions vs matrix kernels)",
+            )
+        )
+    if not kernels and not phases:
+        print(
+            "no kernel or phase spans found (was the server started with "
+            "--trace, and did it serve any runs?)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -909,6 +1022,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the structured JSON request log on stderr",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append spans (JSONL) to this file and enable kernel/phase "
+            "profiling; one HTTP request yields one span tree "
+            "(request -> job -> node -> executor -> kernel).  Inspect "
+            "with 'obs export' / 'obs top'"
+        ),
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -1001,6 +1125,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("action", choices=["stats", "compact", "clear"])
     p.add_argument("--path", required=True, help="JSONL cache file")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "obs", help="observability: export or summarize a span trace file"
+    )
+    osub = p.add_subparsers(dest="obs_command", required=True)
+    pe = osub.add_parser(
+        "export",
+        help="export a span JSONL file (raw span tree or Chrome trace-event JSON)",
+    )
+    pe.add_argument(
+        "--path",
+        required=True,
+        metavar="PATH",
+        help="span JSONL file (written by 'serve --trace' or $REPRO_TRACE)",
+    )
+    pe.add_argument(
+        "--chrome",
+        action="store_true",
+        help=(
+            "emit Chrome trace-event JSON instead of raw spans "
+            "(load in Perfetto or chrome://tracing)"
+        ),
+    )
+    pe.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write to this file instead of stdout",
+    )
+    pe.set_defaults(func=cmd_obs_export)
+    pt = osub.add_parser(
+        "top",
+        help="per-kernel and per-executor time summary aggregated from spans",
+    )
+    pt.add_argument(
+        "--path",
+        required=True,
+        metavar="PATH",
+        help="span JSONL file (written by 'serve --trace' or $REPRO_TRACE)",
+    )
+    pt.add_argument(
+        "--limit", type=int, default=20, help="kernel rows to show (default: 20)"
+    )
+    pt.set_defaults(func=cmd_obs_top)
 
     return parser
 

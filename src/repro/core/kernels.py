@@ -204,6 +204,21 @@ _KERNELS: Dict[str, Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]]] =
 _forced: Optional[str] = None
 _rules_cache: Optional[Tuple[Dict[str, Dict[str, float]], Optional[str], Optional[str]]] = None
 
+#: Optional observability hook (installed by :mod:`repro.obs.profile`).
+#: When set, every compose that crosses the kernel seam routes through it
+#: as ``observer(namespace, kernel_name, n, thunk) -> result``; when
+#: ``None`` (the default) call sites take the raw path -- one attribute
+#: load and an ``is None`` branch is the entire disabled cost.
+_compose_observer: Optional[Callable[[str, str, int, Callable[[], np.ndarray]], np.ndarray]] = None
+
+
+def set_compose_observer(
+    observer: Optional[Callable[[str, str, int, Callable[[], np.ndarray]], np.ndarray]]
+) -> None:
+    """Install (or with ``None`` remove) the kernel-seam observer."""
+    global _compose_observer
+    _compose_observer = observer
+
 
 def register_kernel(
     backend_name: str,
@@ -341,7 +356,10 @@ def graph_compose(
         raise BackendError(
             f"no dispatch rule for backend {backend.name!r}"
         )
-    return table[name](mat, g)
+    observer = _compose_observer
+    if observer is None:
+        return table[name](mat, g)
+    return observer(namespace, name, mat.shape[0], lambda: table[name](mat, g))
 
 
 # ----------------------------------------------------------------------
@@ -526,6 +544,27 @@ def static_completion_search(
 ) -> Tuple[Optional[int], np.ndarray, int]:
     """``(t_star, final_handle, rounds)`` for a static schedule under a cap.
 
+    Routes through the observability seam (one ``squaring`` kernel row /
+    span per search) when an observer is installed; see
+    :func:`set_compose_observer`.
+    """
+    observer = _compose_observer
+    if observer is None:
+        return _static_completion_search(backend, parents, n, cap)
+    namespace = getattr(backend, "kernel_namespace", backend.name)
+    return observer(
+        namespace,
+        "squaring",
+        n,
+        lambda: _static_completion_search(backend, parents, n, cap),
+    )
+
+
+def _static_completion_search(
+    backend: MatrixBackend, parents: np.ndarray, n: int, cap: int
+) -> Tuple[Optional[int], np.ndarray, int]:
+    """The uninstrumented search (docs on the public wrapper above).
+
     Plays the tree ``parents`` every round via the jump-pointer doubling
     described in the module docstring.  Semantics exactly match the
     sequential loop: ``t_star`` is the first round with a broadcaster
@@ -584,6 +623,7 @@ __all__ = [
     "reload_kernel_table",
     "choose_kernel",
     "graph_compose",
+    "set_compose_observer",
     "machine_info",
     "default_table_path",
     "autotune",

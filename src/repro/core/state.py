@@ -18,6 +18,7 @@ from typing import FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import kernels as _kernels
 from repro.core import matrix as M
 from repro.core.backend import BackendLike, MatrixBackend, get_backend
 from repro.errors import DimensionMismatchError, SimulationError
@@ -193,12 +194,29 @@ class BroadcastState:
             raise DimensionMismatchError(
                 f"tree over {tree.n} nodes applied to state over {self._n}"
             )
-        self._backend.compose_with_tree_inplace(
-            self._mat, tree.parent_array_numpy()
-        )
+        self._compose_tree_inplace(tree.parent_array_numpy())
         self._round += 1
         self._dense_cache = None
         return self
+
+    def _compose_tree_inplace(self, parents: np.ndarray) -> None:
+        """One tree compose through the observability seam.
+
+        The observer defaults to ``None`` (one attribute load + branch --
+        the entire disabled cost of instrumenting the engine's hottest
+        call); :mod:`repro.obs.profile` installs it while tracing or
+        profiling is on, recording a ``tree-compose`` kernel row/span.
+        """
+        observer = _kernels._compose_observer
+        if observer is None:
+            self._backend.compose_with_tree_inplace(self._mat, parents)
+            return
+        observer(
+            getattr(self._backend, "kernel_namespace", self._backend.name),
+            "tree-compose",
+            self._n,
+            lambda: self._backend.compose_with_tree_inplace(self._mat, parents),
+        )
 
     def apply_parents_inplace(self, parents: np.ndarray) -> "BroadcastState":
         """Advance one round along a packed parent row (mutating).
@@ -216,7 +234,7 @@ class BroadcastState:
             raise DimensionMismatchError(
                 f"parent row must have shape ({self._n},), got {parents.shape}"
             )
-        self._backend.compose_with_tree_inplace(self._mat, parents)
+        self._compose_tree_inplace(parents)
         self._round += 1
         self._dense_cache = None
         return self

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels as _kernels
 from repro.core.backend import BackendLike, get_backend
 from repro.core.state import BroadcastState
 from repro.errors import DimensionMismatchError, SimulationError
@@ -186,7 +187,18 @@ class BatchRunner:
             raise DimensionMismatchError(
                 f"parent matrix must be {(self._batch, self._n)}, got {parents.shape}"
             )
-        self._backend.batch_compose_inplace(self._bmat, parents)
+        # Observability seam: one "batch-compose" row/span covers the
+        # whole batch's round (observer is None unless tracing/profiling).
+        observer = _kernels._compose_observer
+        if observer is None:
+            self._backend.batch_compose_inplace(self._bmat, parents)
+        else:
+            observer(
+                getattr(self._backend, "kernel_namespace", self._backend.name),
+                "batch-compose",
+                self._n,
+                lambda: self._backend.batch_compose_inplace(self._bmat, parents),
+            )
         self._round += 1
         self._mark_completions()
         return self

@@ -49,6 +49,7 @@ benchmark, and CLI entry point picks it up through
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -64,6 +65,8 @@ from repro.engine.events import RoundRecord
 from repro.engine.metrics import MetricsCollector, RunMetrics
 from repro.engine.trace import Trace, TraceRecorder
 from repro.errors import AdversaryError, SimulationError
+from repro.obs import profile as _profile
+from repro.obs import trace as _obs_trace
 from repro.trees.rooted_tree import RootedTree
 from repro.types import AdversaryProtocol, validate_node_count
 
@@ -157,6 +160,14 @@ class RunReport:
     level and ``keep_trees`` flag; ``trace``/``metrics`` only at the
     ``"trace"`` level.  ``compiled`` is True when the compiled
     parent-schedule fast path drove the entire run.
+
+    ``timings`` is populated only while :mod:`repro.obs.profile` is
+    enabled: ``{"decision_s", "kernel_s"}`` -- adversary think time vs
+    backend compose time (batched executors attribute the group totals
+    to every report in the group).  It is deliberately *not* part of the
+    cached document (:func:`repro.service.cache.report_to_doc`): cache
+    hits must stay byte-identical to fresh recomputation, and wall-clock
+    is not content.
     """
 
     t_star: Optional[int]
@@ -172,6 +183,7 @@ class RunReport:
     metrics: Optional[RunMetrics] = None
     compiled: bool = False
     executor: str = "sequential"
+    timings: Optional[Dict[str, float]] = None
 
     @property
     def completed(self) -> bool:
@@ -386,16 +398,17 @@ class Executor:
         (the service scheduler, task-graph execution) use this so one bad
         adversary cannot fail its batch neighbours.
         """
-        try:
-            return list(self.run_many(specs))
-        except Exception:
-            settled: List[Union[RunReport, Exception]] = []
-            for spec in specs:
-                try:
-                    settled.append(self.run(spec))
-                except Exception as exc:
-                    settled.append(exc)
-            return settled
+        with _obs_trace.span("executor", executor=self.name, specs=len(specs)):
+            try:
+                return list(self.run_many(specs))
+            except Exception:
+                settled: List[Union[RunReport, Exception]] = []
+                for spec in specs:
+                    try:
+                        settled.append(self.run(spec))
+                    except Exception as exc:
+                        settled.append(exc)
+                return settled
 
     def sweep(
         self,
@@ -485,6 +498,22 @@ class SequentialExecutor(Executor):
         return [self.run(spec) for spec in specs]
 
     def run(self, spec: RunSpec) -> RunReport:
+        with _obs_trace.span("run", executor=self.name, n=spec.n) as sp:
+            report = self._run(spec)
+            sp.set_attrs(
+                adversary=report.adversary_name,
+                t_star=report.t_star,
+                rounds=report.rounds,
+                compiled=report.compiled,
+            )
+            if report.timings is not None:
+                sp.set_attrs(
+                    decision_s=round(report.timings["decision_s"], 6),
+                    kernel_s=round(report.timings["kernel_s"], 6),
+                )
+            return report
+
+    def _run(self, spec: RunSpec) -> RunReport:
         adv = spec.make_adversary()
         n = spec.n
         cap, explicit = spec.round_cap()
@@ -494,6 +523,8 @@ class SequentialExecutor(Executor):
         if level == "none" and not spec.keep_trees and self._use_squaring:
             row = _static_parent_row(adv, n)
             if row is not None:
+                # Squaring is one long kernel call; its time shows up as
+                # the "squaring" kernel row, not a decision/kernel split.
                 return _static_report(spec, name, row, n, cap, explicit, self.name)
         recorder = TraceRecorder(n, name, seed=spec.seed) if level == "trace" else None
         collector = MetricsCollector(n) if level == "trace" else None
@@ -507,6 +538,13 @@ class SequentialExecutor(Executor):
                 cursor = _ScheduleCursor.try_compile(adv, n, cap)
             parents_fn = _parents_hook(adv)
         compiled = cursor is not None
+        # Phase split (profiling only): decision = adversary / schedule
+        # calls, kernel = backend composes.  The `if measure` guards keep
+        # the disabled loop clock-free.
+        measure = _profile.enabled()
+        now = time.perf_counter
+        dec_s = 0.0
+        ker_s = 0.0
         t = 0
         while not state.is_broadcast_complete():
             if t >= cap:
@@ -515,19 +553,38 @@ class SequentialExecutor(Executor):
                 raise _cap_error([name], cap)
             t += 1
             if cursor is not None:
+                p0 = now() if measure else 0.0
                 row = cursor.row(t)
+                if measure:
+                    dec_s += now() - p0
                 if row is not None:
+                    p0 = now() if measure else 0.0
                     state.apply_parents_inplace(row)
+                    if measure:
+                        ker_s += now() - p0
                     continue
                 # Horizon stopped compiling; finish on the generic loop.
                 cursor = None
                 compiled = False
             if parents_fn is not None:
-                state.apply_parents_inplace(_validated_row(parents_fn(state, t), n))
+                p0 = now() if measure else 0.0
+                row = _validated_row(parents_fn(state, t), n)
+                if measure:
+                    dec_s += now() - p0
+                    p0 = now()
+                state.apply_parents_inplace(row)
+                if measure:
+                    ker_s += now() - p0
                 continue
+            p0 = now() if measure else 0.0
             tree = _validated_tree(adv.next_tree(state, t), n)
+            if measure:
+                dec_s += now() - p0
             before_edges = state.edge_count() if want_stats else 0
+            p0 = now() if measure else 0.0
             state.apply_tree_inplace(tree)
+            if measure:
+                ker_s += now() - p0
             if spec.keep_trees:
                 played.append(tree)
             if want_stats:
@@ -546,6 +603,10 @@ class SequentialExecutor(Executor):
                     recorder.record_round(record)
                     collector.observe_round(record, tree)
         t_star = t if state.is_broadcast_complete() else None
+        timings = None
+        if measure:
+            timings = {"decision_s": dec_s, "kernel_s": ker_s}
+            _profile.record_phases(self.name, dec_s, ker_s)
         return RunReport(
             t_star=t_star,
             n=n,
@@ -560,6 +621,7 @@ class SequentialExecutor(Executor):
             metrics=collector.finish(t_star) if collector is not None else None,
             compiled=compiled,
             executor=self.name,
+            timings=timings,
         )
 
 
@@ -637,37 +699,65 @@ class BatchExecutor(Executor):
         runner = BatchRunner(n, len(group), backend=backend)
         noop = np.arange(n, dtype=np.int64)
         parents = np.empty((len(group), n), dtype=np.int64)
-        while not runner.all_complete:
-            if runner.round_index >= cap:
-                if explicit:
-                    break
-                stuck = [
-                    name
-                    for b, name in enumerate(names)
-                    if runner.t_star(b) is None
-                ]
-                raise AdversaryError(
-                    f"adversaries {stuck!r} exceeded the trivial n² cap ({cap})"
-                )
-            t = runner.round_index + 1
-            for b, adv in enumerate(advs):
-                if runner.t_star(b) is not None:
-                    parents[b] = noop
-                    continue
-                cursor = cursors[b]
-                if cursor is not None:
-                    row = cursor.row(t)
-                    if row is not None:
-                        parents[b] = row
+        # Phase split (profiling only): decision = the per-run adversary
+        # loop, kernel = the batched lockstep compose.  The group totals
+        # are attributed to every report in the group -- the batch shares
+        # one kernel call per round, so a per-run split does not exist.
+        measure = _profile.enabled()
+        now = time.perf_counter
+        dec_s = 0.0
+        ker_s = 0.0
+        with _obs_trace.span(
+            "run_group", executor=self.name, n=n, runs=len(group)
+        ) as sp:
+            while not runner.all_complete:
+                if runner.round_index >= cap:
+                    if explicit:
+                        break
+                    stuck = [
+                        name
+                        for b, name in enumerate(names)
+                        if runner.t_star(b) is None
+                    ]
+                    raise AdversaryError(
+                        f"adversaries {stuck!r} exceeded the trivial n² cap ({cap})"
+                    )
+                t = runner.round_index + 1
+                p0 = now() if measure else 0.0
+                for b, adv in enumerate(advs):
+                    if runner.t_star(b) is not None:
+                        parents[b] = noop
                         continue
-                    cursors[b] = None
-                    compiled[b] = False
-                if hooks[b] is not None:
-                    parents[b] = _validated_row(hooks[b](runner.state_view(b), t), n)
-                    continue
-                tree = _validated_tree(adv.next_tree(runner.state_view(b), t), n)
-                parents[b] = tree.parent_array_numpy()
-            runner.step_parents(parents)
+                    cursor = cursors[b]
+                    if cursor is not None:
+                        row = cursor.row(t)
+                        if row is not None:
+                            parents[b] = row
+                            continue
+                        cursors[b] = None
+                        compiled[b] = False
+                    if hooks[b] is not None:
+                        parents[b] = _validated_row(
+                            hooks[b](runner.state_view(b), t), n
+                        )
+                        continue
+                    tree = _validated_tree(adv.next_tree(runner.state_view(b), t), n)
+                    parents[b] = tree.parent_array_numpy()
+                if measure:
+                    dec_s += now() - p0
+                    p0 = now()
+                runner.step_parents(parents)
+                if measure:
+                    ker_s += now() - p0
+            sp.set_attrs(rounds=runner.round_index)
+            if measure:
+                sp.set_attrs(
+                    decision_s=round(dec_s, 6), kernel_s=round(ker_s, 6)
+                )
+        timings = None
+        if measure:
+            timings = {"decision_s": dec_s, "kernel_s": ker_s}
+            _profile.record_phases(self.name, dec_s, ker_s)
         for b, (idx, spec) in enumerate(zip(live, group)):
             t_star = runner.t_star(b)
             final = runner.state(b, round_index=t_star)
@@ -681,16 +771,32 @@ class BatchExecutor(Executor):
                 seed=spec.seed,
                 compiled=compiled[b],
                 executor=self.name,
+                timings=timings,
             )
         return results
 
 
-def _spec_shard_worker(
-    payload: Tuple[List[int], List[RunSpec]]
-) -> List[Tuple[int, RunReport]]:
-    """Run one shard of specs through a fresh :class:`BatchExecutor`."""
-    indices, specs = payload
-    return list(zip(indices, BatchExecutor().run_many(specs)))
+def _spec_shard_worker(payload: Tuple) -> List[Tuple[int, RunReport]]:
+    """Run one shard of specs through a fresh :class:`BatchExecutor`.
+
+    The payload is ``(indices, specs)`` or ``(indices, specs, obs_doc)``;
+    the optional third element re-establishes observability in the spawn
+    worker (sink path, profiling flag, and the parent's trace context, so
+    the shard's spans join the caller's trace tree).
+    """
+    indices, specs = payload[0], payload[1]
+    ctx = None
+    if len(payload) > 2 and payload[2] is not None:
+        obs_doc = payload[2]
+        sink = obs_doc.get("sink")
+        if sink and not _obs_trace.enabled():
+            _obs_trace.enable(sink)
+        if obs_doc.get("profile") and not _profile.enabled():
+            _profile.enable()
+        ctx = _obs_trace.TraceContext.from_doc(obs_doc.get("ctx"))
+    with _obs_trace.context(ctx):
+        with _obs_trace.span("shard", specs=len(specs)):
+            return list(zip(indices, BatchExecutor().run_many(specs)))
 
 
 class ShardedExecutor(Executor):
@@ -738,9 +844,24 @@ class ShardedExecutor(Executor):
         if not specs:
             return []
         indexed = list(enumerate(self._prepare(spec) for spec in specs))
+        # Observability crosses the spawn boundary explicitly: workers get
+        # the sink path + profiling flag + current trace context in the
+        # payload (env inheritance also works, but programmatic enable()
+        # -- e.g. `serve --trace` -- never touches the environment).
+        ctx = _obs_trace.current_context()
+        obs_doc = None
+        if ctx is not None or _obs_trace.enabled() or _profile.enabled():
+            obs_doc = {
+                "ctx": ctx.to_doc() if ctx is not None else None,
+                "sink": _obs_trace.sink_path(),
+                "profile": _profile.enabled(),
+            }
         payloads = []
         for shard in split_shards(indexed, self._workers):
-            payloads.append(([i for i, _ in shard], [s for _, s in shard]))
+            shard_payload = ([i for i, _ in shard], [s for _, s in shard])
+            if obs_doc is not None:
+                shard_payload = shard_payload + (obs_doc,)
+            payloads.append(shard_payload)
         merged: List[Tuple[int, RunReport]] = []
         for shard_out in pool_map(
             _spec_shard_worker, payloads, self._workers, self._mp_context

@@ -1,0 +1,22 @@
+"""Unified observability: tracing, typed metrics, profiling hooks.
+
+Zero-dependency (stdlib-only) subsystem wired through every layer of the
+stack:
+
+* :mod:`repro.obs.trace` -- span tracer with thread-local context,
+  ``traceparent`` header propagation, an append-only JSONL sink, and
+  Chrome trace-event export (``repro-broadcast obs export --chrome``);
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms behind
+  ``/metrics`` (JSON shape unchanged; ``?format=prometheus`` added);
+* :mod:`repro.obs.profile` -- per-kernel invocation/time accounting and
+  the executor decision-vs-kernel phase split (``repro-broadcast obs
+  top``).
+
+Everything is off by default and costs one flag/``is None`` check when
+disabled.  Enable via ``REPRO_TRACE=<path>`` / ``REPRO_PROFILE=1`` in
+the environment, ``serve --trace <path>``, or programmatically.
+"""
+
+from repro.obs import metrics, profile, trace
+
+__all__ = ["trace", "metrics", "profile"]

@@ -121,6 +121,14 @@ class ServiceClient:
             headers = {"Content-Type": "application/json"} if payload else {}
             if self.token is not None:
                 headers["Authorization"] = f"Bearer {self.token}"
+            # Propagate the caller's active trace context (if any) so the
+            # server's request span -- and the job it enqueues -- joins
+            # this process's trace tree.
+            from repro.obs import trace as _trace
+
+            ctx = _trace.current_context()
+            if ctx is not None:
+                headers["traceparent"] = ctx.to_header()
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()

@@ -60,6 +60,10 @@ class JournalEntry:
     #: Submitting tenant; journals written before multi-tenancy default
     #: to the anonymous tenant on replay.
     tenant: str = "public"
+    #: Trace id of the submitting request (observability continuity: a
+    #: recovered job rejoins its original trace).  ``None`` for untraced
+    #: submissions and journals written before tracing existed.
+    trace_id: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -130,19 +134,27 @@ class JobJournal:
         digest: str,
         spec: Dict[str, Any],
         tenant: str = "public",
+        trace_id: Optional[str] = None,
     ) -> None:
-        """Record one submission with its full spec payload."""
-        self._append(
-            {
-                "format_version": JOURNAL_FORMAT_VERSION,
-                "event": "submit",
-                "job_id": job_id,
-                "kind": kind,
-                "digest": digest,
-                "spec": spec,
-                "tenant": tenant,
-            }
-        )
+        """Record one submission with its full spec payload.
+
+        ``trace_id`` (when the submit happened under an active trace)
+        is persisted so recovery re-attaches the job to its original
+        trace; the key is omitted entirely for untraced submissions,
+        keeping those lines byte-identical to pre-tracing journals.
+        """
+        doc: Dict[str, Any] = {
+            "format_version": JOURNAL_FORMAT_VERSION,
+            "event": "submit",
+            "job_id": job_id,
+            "kind": kind,
+            "digest": digest,
+            "spec": spec,
+            "tenant": tenant,
+        }
+        if trace_id is not None:
+            doc["trace_id"] = trace_id
+        self._append(doc)
 
     def record_state(
         self, job_id: str, status: str, error: Optional[str] = None
@@ -200,12 +212,14 @@ class JobJournal:
             event = doc.get("event")
             if event == "submit":
                 try:
+                    trace_id = doc.get("trace_id")
                     entry = JournalEntry(
                         job_id=str(doc["job_id"]),
                         kind=str(doc["kind"]),
                         digest=str(doc["digest"]),
                         spec=dict(doc["spec"]),
                         tenant=str(doc.get("tenant", "public")),
+                        trace_id=str(trace_id) if trace_id is not None else None,
                     )
                 except (KeyError, TypeError) as exc:
                     raise JournalError(
@@ -244,21 +258,18 @@ class JobJournal:
             tmp = self._path.with_name(self._path.name + ".compact.tmp")
             with tmp.open("w", encoding="utf-8") as fh:
                 for entry in keep:
-                    fh.write(
-                        json.dumps(
-                            {
-                                "format_version": JOURNAL_FORMAT_VERSION,
-                                "event": "submit",
-                                "job_id": entry.job_id,
-                                "kind": entry.kind,
-                                "digest": entry.digest,
-                                "spec": entry.spec,
-                                "tenant": entry.tenant,
-                            },
-                            sort_keys=True,
-                        )
-                        + "\n"
-                    )
+                    submit_doc: Dict[str, Any] = {
+                        "format_version": JOURNAL_FORMAT_VERSION,
+                        "event": "submit",
+                        "job_id": entry.job_id,
+                        "kind": entry.kind,
+                        "digest": entry.digest,
+                        "spec": entry.spec,
+                        "tenant": entry.tenant,
+                    }
+                    if entry.trace_id is not None:
+                        submit_doc["trace_id"] = entry.trace_id
+                    fh.write(json.dumps(submit_doc, sort_keys=True) + "\n")
                     if entry.status != "queued":
                         doc: Dict[str, Any] = {
                             "format_version": JOURNAL_FORMAT_VERSION,

@@ -51,6 +51,7 @@ from __future__ import annotations
 import itertools
 import json
 import re
+import secrets
 import threading
 import time
 from collections import deque
@@ -60,6 +61,8 @@ from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.engine.executor import Executor, get_executor
 from repro.errors import ServiceError
+from repro.obs import trace as _trace
+from repro.obs.metrics import CounterMap, Registry
 from repro.service.cache import ResultCache, SweepCellCache, report_to_doc
 from repro.service.journal import JobJournal, JournalEntry
 from repro.service.specs import (
@@ -109,6 +112,11 @@ class Job:
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = field(default=None, repr=False)
     nodes: Optional[Dict[str, Dict[str, Any]]] = field(default=None, repr=False)
+    #: Trace context captured at submit time (``TraceContext.to_doc()``):
+    #: workers re-activate it around dispatch so the job's spans join the
+    #: submitting request's trace tree.  ``None`` when no trace was
+    #: active and no ``traceparent`` header arrived.
+    trace: Optional[Dict[str, str]] = field(default=None, repr=False)
     #: Monotonic update counter: bumped on every status or per-node
     #: change.  Long-poll watchers (``GET /v1/tasks/<id>?watch=<v>``)
     #: block until it moves past the version they already saw.
@@ -132,6 +140,8 @@ class Job:
             "error": self.error,
             "version": self.version,
         }
+        if self.trace is not None:
+            doc["trace_id"] = self.trace.get("trace_id")
         if self.nodes is not None:
             doc["tasks"] = {d: dict(node) for d, node in self.nodes.items()}
         if include_result:
@@ -179,6 +189,11 @@ class JobScheduler:
         Seconds after its last long-poll during which a terminal job is
         exempt from retention eviction, so an active watcher's next
         ``?watch=`` poll still finds the finished job instead of a 404.
+    registry:
+        Optional :class:`~repro.obs.metrics.Registry` the scheduler's
+        counters register into (the server passes its own so one
+        ``/metrics?format=prometheus`` scrape covers both layers); a
+        private registry is created when omitted.
     """
 
     def __init__(
@@ -191,6 +206,7 @@ class JobScheduler:
         journal: Optional[Union[JobJournal, str, Path]] = None,
         tenancy: Optional[TenantRegistry] = None,
         watch_grace: float = 120.0,
+        registry: Optional[Registry] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -213,14 +229,28 @@ class JobScheduler:
         self._finished: "deque[str]" = deque()  # terminal job_ids, oldest first
         self._max_finished = max_finished_jobs
         self._ids = itertools.count(1)
-        self._counters = {
-            "submitted": 0,
-            "dedup_inflight": 0,
-            "computations": 0,
-            "dispatches": 0,
-            "failures": 0,
-            "recovered_jobs": 0,
-        }
+        # Counters live in the typed registry (shared with the HTTP layer
+        # when the server passes its own) but keep the legacy dict keys on
+        # /metrics via CounterMap.to_dict().
+        self.registry = registry if registry is not None else Registry()
+        self._counters = CounterMap(
+            self.registry,
+            "repro_scheduler",
+            (
+                "submitted",
+                "dedup_inflight",
+                "computations",
+                "dispatches",
+                "failures",
+                "recovered_jobs",
+            ),
+            help="Scheduler lifecycle counter",
+        )
+        self._submitted_by_tenant = self.registry.counter(
+            "repro_jobs_submitted_by_tenant_total",
+            "Jobs submitted, labelled by tenant",
+            labelnames=("tenant",),
+        )
         self._threads: List[threading.Thread] = []
         self._stopping = False
         if journal is not None and not isinstance(journal, JobJournal):
@@ -316,7 +346,12 @@ class JobScheduler:
     def _journal_submit(self, job: Job) -> None:
         if self._journal is not None:
             self._journal.record_submit(
-                job.job_id, job.kind, job.digest, dict(job.spec), tenant=job.tenant
+                job.job_id,
+                job.kind,
+                job.digest,
+                dict(job.spec),
+                tenant=job.tenant,
+                trace_id=(job.trace or {}).get("trace_id"),
             )
 
     def _journal_state(self, job_id: str, status: str, error: Optional[str] = None) -> None:
@@ -339,13 +374,17 @@ class JobScheduler:
             # Quota gate before any state changes: an over-quota tenant's
             # submission must not enqueue, dedup, or touch the cache.
             self.tenancy.check_quota(tenant)
+        # Captured outside the lock: the submitting thread's active trace
+        # context (the request span, or an incoming traceparent header).
+        ctx = _trace.current_context()
         with self._cv:
-            self._counters["submitted"] += 1
+            self._counters.inc("submitted")
+            self._submitted_by_tenant.inc(tenant=tenant)
             # In-flight dedup first: it must win over a cache probe so the
             # dedup path never skews hit/miss counters.
             existing = self._inflight.get(digest)
             if existing is not None:
-                self._counters["dedup_inflight"] += 1
+                self._counters.inc("dedup_inflight")
                 if self.tenancy is not None:
                     # The duplicate submitter shares the in-flight job but
                     # is accounted (and later charged) as its own use.
@@ -358,6 +397,7 @@ class JobScheduler:
                 digest=digest,
                 spec=spec,
                 tenant=tenant,
+                trace=ctx.to_doc() if ctx is not None else None,
             )
             cached = self.cache.lookup(digest, kind=kind)
             if cached is not None:
@@ -488,7 +528,19 @@ class JobScheduler:
         return job
 
     def metrics(self) -> Dict[str, Any]:
-        """Counter snapshot: jobs by state, scheduler counters, cache stats."""
+        """Counter snapshot: jobs by state, scheduler counters, cache stats.
+
+        Consistency contract: each top-level block is a consistent
+        snapshot under its *owner's* lock -- ``jobs``/``queue_depth``/
+        ``inflight``/``journal_bytes`` under the scheduler lock, the
+        lifecycle counters under their per-instrument locks, ``cache``
+        under the cache's lock, ``tenants`` under the tenant registry's
+        -- but no lock is held across blocks, so blocks may be mutually
+        stale by whatever completed between their snapshots.  That is
+        deliberate: ``/metrics`` must never serialize against dispatch,
+        and cross-block arithmetic (e.g. ``submitted - jobs.done``) is
+        only ever approximate on a live server.
+        """
         with self._cv:
             by_state = {state: 0 for state in JOB_STATES}
             for job in self._jobs.values():
@@ -497,10 +549,10 @@ class JobScheduler:
                 "jobs": by_state,
                 "queue_depth": len(self._queue),
                 "inflight": len(self._inflight),
-                **dict(self._counters),
                 "journal_bytes": 0 if self._journal is None else self._journal.nbytes,
-                "cache": self.cache.stats(),
             }
+        doc.update(self._counters.to_dict())
+        doc["cache"] = self.cache.stats()
         if self.tenancy is not None:
             doc["tenants"] = self.tenancy.metrics()
         # Execution detail only: kernel choice never enters spec digests,
@@ -562,7 +614,7 @@ class JobScheduler:
                     recovered += 1
             if max_seen:
                 self._ids = itertools.count(max_seen + 1)
-            self._counters["recovered_jobs"] += recovered
+            self._counters.inc("recovered_jobs", recovered)
             self._cv.notify_all()
         return recovered
 
@@ -574,6 +626,14 @@ class JobScheduler:
             digest=entry.digest,
             spec=entry.spec,
             tenant=entry.tenant,
+            # The journal persists only the trace id; a fresh span id keeps
+            # the restored job's spans in the original request's trace
+            # (they surface as a new root -- the pre-crash spans are gone).
+            trace=(
+                {"trace_id": entry.trace_id, "span_id": secrets.token_hex(8)}
+                if entry.trace_id
+                else None
+            ),
         )
         if entry.status == "failed":
             job.status = "failed"
@@ -668,13 +728,21 @@ class JobScheduler:
                 if self._stopping:
                     return
                 group = self._take_group()
+            head = group[0]
             try:
-                if group[0].kind == "sweep":
-                    self._dispatch_sweep(group[0])
-                elif group[0].kind == "graph":
-                    self._dispatch_graph(group[0])
-                else:
-                    self._dispatch_runs(group)
+                # Re-activate the submitting request's trace context on
+                # this worker thread: the job span (and everything the
+                # dispatch opens beneath it) joins the request's tree.
+                with _trace.context(_trace.TraceContext.from_doc(head.trace)):
+                    with _trace.span(
+                        "job", job_id=head.job_id, kind=head.kind, jobs=len(group)
+                    ):
+                        if head.kind == "sweep":
+                            self._dispatch_sweep(head)
+                        elif head.kind == "graph":
+                            self._dispatch_graph(head)
+                        else:
+                            self._dispatch_runs(group)
             except Exception as exc:  # a worker thread must never die
                 for job in group:
                     if not job.finished:
@@ -724,7 +792,7 @@ class JobScheduler:
             job.status = "done" if error is None else "failed"
             job.version += 1
             if error is not None:
-                self._counters["failures"] += 1
+                self._counters.inc("failures")
             self._inflight.pop(job.digest, None)
             self._retire(job)
             self._journal_state(job.job_id, job.status, error=error)
@@ -740,7 +808,7 @@ class JobScheduler:
     def _dispatch_runs(self, group: List[Job]) -> None:
         specs = [to_run_spec(job.spec) for job in group]
         with self._cv:
-            self._counters["dispatches"] += 1
+            self._counters.inc("dispatches")
         # One bad adversary must not fail its batch neighbours: the
         # settled dispatch retries spec-by-spec on failure so exactly the
         # offending jobs record errors while the rest complete.
@@ -749,12 +817,12 @@ class JobScheduler:
                 self._finish(job, None, f"{type(outcome).__name__}: {outcome}")
             else:
                 with self._cv:
-                    self._counters["computations"] += 1
+                    self._counters.inc("computations")
                 self._finish(job, report_to_doc(outcome), None)
 
     def _dispatch_graph(self, job: Job) -> None:
         with self._cv:
-            self._counters["dispatches"] += 1
+            self._counters.inc("dispatches")
         graph, _ = TaskGraph.from_doc(job.spec)
         outputs = job.spec["outputs"]
 
@@ -790,12 +858,12 @@ class JobScheduler:
             self._finish(job, result, f"graph outputs did not complete: {errors}")
             return
         with self._cv:
-            self._counters["computations"] += 1
+            self._counters.inc("computations")
         self._finish(job, result, None)
 
     def _dispatch_sweep(self, job: Job) -> None:
         with self._cv:
-            self._counters["dispatches"] += 1
+            self._counters.inc("dispatches")
         try:
             handles = sweep_handles(job.spec)
             result = self._executor.sweep(
@@ -809,7 +877,7 @@ class JobScheduler:
             self._finish(job, None, f"{type(exc).__name__}: {exc}")
             return
         with self._cv:
-            self._counters["computations"] += 1
+            self._counters.inc("computations")
         self._finish(job, json.loads(result.to_json()), None)
 
 

@@ -79,6 +79,8 @@ from repro.errors import (
     ServiceError,
     SpecError,
 )
+from repro.obs import trace as _trace
+from repro.obs.metrics import CounterMap, Registry, flatten_json_metrics
 from repro.service.cache import ResultCache
 from repro.service.journal import JobJournal
 from repro.service.scheduler import JobScheduler
@@ -144,18 +146,23 @@ class _Handler(BaseHTTPRequestHandler):
     def _count(self, counter: str) -> None:
         self.server.owner._count_http(counter)  # type: ignore[attr-defined]
 
-    def _send_json(
+    def _send_body(
         self,
         code: int,
-        doc: Dict[str, Any],
+        body: bytes,
+        content_type: str,
         headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        body = json.dumps(doc).encode("utf-8")
         self._status = code
         try:
             self.send_response(code)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            # Echo the active trace context so a client can stitch its
+            # own spans (and the job's trace_id) to this exchange.
+            ctx = _trace.current_context()
+            if ctx is not None:
+                self.send_header("traceparent", ctx.to_header())
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
             self.end_headers()
@@ -166,6 +173,19 @@ class _Handler(BaseHTTPRequestHandler):
             # answer it to: count it, close, no traceback.
             self._count("client_disconnects")
             self.close_connection = True
+
+    def _send_json(
+        self,
+        code: int,
+        doc: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_body(
+            code, json.dumps(doc).encode("utf-8"), "application/json", headers
+        )
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        self._send_body(code, text.encode("utf-8"), content_type)
 
     def _read_json(self) -> Dict[str, Any]:
         try:
@@ -250,30 +270,52 @@ class _Handler(BaseHTTPRequestHandler):
         self._status: Optional[int] = None
         self._tenant: Optional[str] = None
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        try:
-            self._count("requests")
-            tenant = self._authenticate(path)
-            if tenant is None:
-                return
-            self._tenant = tenant
-            handler(path, tenant)
-        except RateLimitedError as exc:
-            self._send_throttled(exc)
-        except TimeoutError:
-            # The socket timed out mid-read: the client declared bytes it
-            # never sent (slow loris) or stalled mid-body.  Best-effort
-            # 408, then drop the connection -- the thread must come back.
-            self._count("request_timeouts")
-            self.close_connection = True
-            self._send_json(408, {"error": "request timed out waiting for the body"})
-        except (BrokenPipeError, ConnectionResetError):
-            self._count("client_disconnects")
-            self.close_connection = True
-        finally:
-            self._log_request(path, time.monotonic() - t0)
+        # An incoming W3C traceparent header becomes the parent context:
+        # the request span (when tracing) and the job's recorded trace id
+        # both join the caller's trace.  Context activation works even
+        # with tracing off, so the id still flows into job + journal.
+        ctx = _trace.TraceContext.from_header(self.headers.get("traceparent"))
+        with _trace.context(ctx):
+            with _trace.span("request", method=self.command, path=path) as sp:
+                try:
+                    self._count("requests")
+                    tenant = self._authenticate(path)
+                    if tenant is None:
+                        return
+                    self._tenant = tenant
+                    handler(path, tenant)
+                except RateLimitedError as exc:
+                    self._send_throttled(exc)
+                except TimeoutError:
+                    # The socket timed out mid-read: the client declared
+                    # bytes it never sent (slow loris) or stalled
+                    # mid-body.  Best-effort 408, then drop the
+                    # connection -- the thread must come back.
+                    self._count("request_timeouts")
+                    self.close_connection = True
+                    self._send_json(
+                        408, {"error": "request timed out waiting for the body"}
+                    )
+                except (BrokenPipeError, ConnectionResetError):
+                    self._count("client_disconnects")
+                    self.close_connection = True
+                finally:
+                    duration = time.monotonic() - t0
+                    sp.set_attrs(status=self._status, tenant=self._tenant)
+                    self.server.owner._observe_request(  # type: ignore[attr-defined]
+                        duration
+                    )
+                    self._log_request(path, duration)
 
     def _log_request(self, path: str, duration: float) -> None:
-        """One structured JSON line per request on the configured stream."""
+        """One structured JSON line per request on the configured stream.
+
+        The write happens under the server-wide access-log lock: handler
+        threads share one stream, and Python only guarantees atomic
+        appends for buffered writes below the buffer size -- concurrent
+        bursts were observed interleaving records mid-line.  One line per
+        request is short; the lock is never contended for long.
+        """
         stream: Optional[TextIO] = getattr(self.server, "access_log_stream", None)
         if stream is None:
             return
@@ -286,9 +328,12 @@ class _Handler(BaseHTTPRequestHandler):
             "duration_ms": round(duration * 1000.0, 3),
             "queue_depth": self.scheduler.queue_depth(),
         }
+        line = json.dumps(record, sort_keys=True) + "\n"
+        lock = self.server.owner._access_log_lock  # type: ignore[attr-defined]
         try:
-            stream.write(json.dumps(record, sort_keys=True) + "\n")
-            stream.flush()
+            with lock:
+                stream.write(line)
+                stream.flush()
         except (OSError, ValueError):  # pragma: no cover - log stream closed
             pass
 
@@ -307,6 +352,18 @@ class _Handler(BaseHTTPRequestHandler):
         if path == "/metrics":
             doc = self.scheduler.metrics()
             doc["http"] = self.server.owner.http_metrics()  # type: ignore[attr-defined]
+            query = parse_qs(urlparse(self.path).query)
+            if query.get("format", [""])[0] == "prometheus":
+                # Typed instruments render natively; the legacy nested
+                # JSON blocks ride along as flattened gauge samples so
+                # one scrape sees the whole document.
+                text = self.server.owner.registry.to_prometheus(  # type: ignore[attr-defined]
+                    extra_lines=flatten_json_metrics(doc)
+                )
+                self._send_text(
+                    200, text, "text/plain; version=0.0.4; charset=utf-8"
+                )
+                return
             self._send_json(200, doc)
             return
         if path == "/v1/specs":
@@ -550,12 +607,18 @@ class ServiceServer:
             tenancy = TenantRegistry(default_limits=tenant_limits)
         self.auth = auth
         self.tenancy = tenancy
+        #: One typed-metrics registry for the whole service: the
+        #: scheduler's lifecycle counters and the HTTP layer's
+        #: counters/latency histogram all register here, so a single
+        #: ``/metrics?format=prometheus`` scrape covers every layer.
+        self.registry = Registry()
         self.scheduler = JobScheduler(
             executor=executor,
             cache=cache,
             workers=scheduler_workers,
             journal=journal,
             tenancy=tenancy,
+            registry=self.registry,
         )
         self._httpd = _ThreadingServer((host, port), _Handler)
         self._httpd.scheduler = self.scheduler  # type: ignore[attr-defined]
@@ -568,27 +631,47 @@ class ServiceServer:
         self._httpd.access_log_stream = (  # type: ignore[attr-defined]
             (log_stream or sys.stderr) if access_log else None
         )
-        self._http_lock = threading.Lock()
-        self._http_counters = {
-            "requests": 0,
-            "auth_failures": 0,
-            "rate_limited": 0,
-            "request_timeouts": 0,
-            "client_disconnects": 0,
-        }
+        self._http_counters = CounterMap(
+            self.registry,
+            "repro_http",
+            (
+                "requests",
+                "auth_failures",
+                "rate_limited",
+                "request_timeouts",
+                "client_disconnects",
+            ),
+            help="HTTP front-end counter",
+        )
+        self._latency = self.registry.histogram(
+            "repro_http_request_seconds",
+            "End-to-end HTTP request latency in seconds",
+        )
+        # Handler threads share one access-log stream; interleaved
+        # partial writes under concurrency are satellite-visible log
+        # corruption, so every record goes out under this lock.
+        self._access_log_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._stopped = threading.Event()
         self._stop_lock = threading.Lock()
         self._closed = False
 
     def _count_http(self, counter: str) -> None:
-        with self._http_lock:
-            self._http_counters[counter] += 1
+        self._http_counters.inc(counter)
 
-    def http_metrics(self) -> Dict[str, int]:
-        """HTTP-layer counter snapshot (the ``/metrics`` ``http`` block)."""
-        with self._http_lock:
-            return dict(self._http_counters)
+    def _observe_request(self, seconds: float) -> None:
+        self._latency.observe(seconds)
+
+    def http_metrics(self) -> Dict[str, Any]:
+        """HTTP-layer snapshot (the ``/metrics`` ``http`` block).
+
+        The original counter keys keep their exact shape (plain ints);
+        ``latency`` is additive -- the request-latency histogram's
+        ``{"count", "sum_s", "p50_ms", "p95_ms", "p99_ms"}`` summary.
+        """
+        doc: Dict[str, Any] = self._http_counters.to_dict()
+        doc["latency"] = self._latency.summary()
+        return doc
 
     @property
     def address(self) -> Tuple[str, int]:

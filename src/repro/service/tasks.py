@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.executor import Executor, get_executor
 from repro.errors import TaskError
+from repro.obs import trace as _trace
 from repro.service.cache import ResultCache, report_from_doc, report_to_doc
 from repro.service.specs import (
     canonical_json,
@@ -708,7 +709,10 @@ class TaskGraphRunner:
                 for digest in owned_runs:
                     mark(digest, status="running")
                 specs = [to_run_spec(graph[d].payload) for d in owned_runs]
-                settled = self._executor.run_many_settled(specs)
+                # One "node" span covers the whole batched dispatch (the
+                # wave's run tasks share a single executor call).
+                with _trace.span("node", kind="run", tasks=len(owned_runs)):
+                    settled = self._executor.run_many_settled(specs)
                 for digest, outcome in zip(owned_runs, settled):
                     if isinstance(outcome, Exception):
                         finish_failed(
@@ -726,7 +730,10 @@ class TaskGraphRunner:
                 mark(digest, status="running")
                 try:
                     inputs = [dict(results[ref]) for ref in task.inputs]
-                    doc = get_task_kind(task.kind).compute(dict(task.payload), inputs)
+                    with _trace.span("node", kind=task.kind, digest=digest[:16]):
+                        doc = get_task_kind(task.kind).compute(
+                            dict(task.payload), inputs
+                        )
                     if not isinstance(doc, dict):
                         raise TaskError(
                             f"task kind {task.kind!r} compute returned "
