@@ -444,6 +444,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_queue_depth=args.max_queue_depth,
             request_timeout=args.request_timeout,
             access_log=not args.no_access_log,
+            fleet=args.fleet,
+            lease_ttl=args.lease_ttl,
+            claim_deadline=args.claim_deadline,
         )
     except ServiceError as exc:  # bad auth file / limit values
         print(str(exc), file=sys.stderr)
@@ -462,6 +465,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         "POST /v1/tasks, GET /v1/runs/<id>, GET /v1/tasks/<id>, "
         "GET /v1/specs, GET /healthz, GET /metrics, POST /v1/shutdown"
     )
+    if args.fleet:
+        print(
+            f"worker fleet enabled: lease TTL {args.lease_ttl}s, local "
+            f"fallback after {args.claim_deadline}s; attach workers with "
+            f"'repro-broadcast worker --url {server.url}'"
+        )
     if args.cache:
         print(f"result cache persisted to {args.cache}")
     if args.trace:
@@ -617,7 +626,9 @@ def cmd_task_status(args: argparse.Namespace) -> int:
     from repro.errors import ServiceError
     from repro.service.client import ServiceClient
 
-    client = ServiceClient.from_url(args.url, token=args.token)
+    client = ServiceClient.from_url(
+        args.url, token=args.token, retry_connect=args.retry_connect
+    )
     try:
         if args.watch:
             doc = None
@@ -633,6 +644,44 @@ def cmd_task_status(args: argparse.Namespace) -> int:
     if doc["status"] == "done":
         _print_task_outputs(doc)
     return 1 if doc["status"] == "failed" else 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run a pull-based fleet worker against a ``serve --fleet`` service.
+
+    The worker long-polls ``/v1/work:claim``, executes each claimed batch
+    through the ordinary executor stack, and pushes encoded reports back
+    via ``/v1/work:complete``.  SIGINT/SIGTERM request a graceful stop:
+    the in-flight batch finishes (or its lease expires and the server
+    reclaims it) and the final per-worker stats are printed.
+    """
+    import signal
+
+    from repro.service.client import ServiceClient
+    from repro.service.worker import FleetWorker
+
+    client = ServiceClient.from_url(args.url, token=args.token)
+    worker = FleetWorker(
+        client,
+        name=args.name,
+        procs=args.procs,
+        batch=args.batch,
+        engine=args.engine,
+        poll=args.poll,
+        delay=args.delay,
+        max_batches=args.max_batches,
+    )
+
+    def _stop(signum: int, frame: object) -> None:
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    print(f"worker {worker.name} pulling from {args.url} (Ctrl-C to stop)")
+    worker.run()
+    stats = ", ".join(f"{k}={v}" for k, v in sorted(worker.stats.items()))
+    print(f"worker {worker.name} stopped: {stats}")
+    return 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -1033,7 +1082,91 @@ def build_parser() -> argparse.ArgumentParser:
             "with 'obs export' / 'obs top'"
         ),
     )
+    p.add_argument(
+        "--fleet",
+        action="store_true",
+        help=(
+            "enable the pull-based worker fleet: jobs are queued as leased "
+            "work items that remote 'worker' processes claim over HTTP; "
+            "anything unclaimed past --claim-deadline runs locally"
+        ),
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help=(
+            "work lease time-to-live; a worker that stops heartbeating for "
+            "this long has its items reclaimed (default: 15)"
+        ),
+    )
+    p.add_argument(
+        "--claim-deadline",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help=(
+            "how long queued work waits for a worker claim before falling "
+            "back to local execution (default: 2; only applies while "
+            "workers look alive)"
+        ),
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="pull-based fleet worker: claim, execute, and push work batches",
+    )
+    p.add_argument(
+        "--url", default="http://127.0.0.1:8642", help="service base URL"
+    )
+    p.add_argument(
+        "--token", default=None, help="bearer token sent as Authorization header"
+    )
+    p.add_argument(
+        "--name",
+        default=None,
+        help="worker id reported to the server (default: worker-<host>-<pid>)",
+    )
+    p.add_argument(
+        "--procs",
+        type=int,
+        default=1,
+        help="local executor processes; >1 switches to the sharded executor",
+    )
+    p.add_argument(
+        "--batch",
+        type=int,
+        default=4,
+        help="max work items claimed per lease (default: 4)",
+    )
+    p.add_argument(
+        "--engine",
+        default=None,
+        help="override the server's executor hint (e.g. batch, compiled)",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="long-poll wait per claim request when the queue is idle",
+    )
+    p.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="artificial per-item execution delay (chaos/testing aid)",
+    )
+    p.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        help="exit after this many non-empty claims (default: run forever)",
+    )
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "submit", help="submit one declarative run spec to a running service"
@@ -1116,6 +1249,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument(
         "--token", default=None, help="bearer token sent as Authorization header"
+    )
+    ps.add_argument(
+        "--retry-connect",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry idempotent reads up to N times (with jittered backoff) "
+            "when the service is unreachable, e.g. across a restart"
+        ),
     )
     ps.set_defaults(func=cmd_task_status)
 

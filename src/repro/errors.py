@@ -35,12 +35,14 @@ which subsystem rejected the input:
   server's JSON ``payload`` are attached), itself specialized into
   :class:`SpecRejectedError` (400), :class:`AuthenticationError` (401),
   :class:`PayloadTooLargeError` (413), :class:`UnknownResourceError`
-  (404), :class:`RateLimitedError` (429, carries ``retry_after``), and
-  :class:`QuotaExceededError` (429 for an exhausted per-tenant quota --
-  a :class:`RateLimitedError` subclass that bounded retry must *not*
-  retry, because waiting does not replenish a quota).  The same classes
-  are raised server-side by :mod:`repro.service.tenancy` and mapped onto
-  HTTP statuses by the request handler.
+  (404), :class:`LeaseExpiredError` (409, a work lease was reclaimed --
+  see :mod:`repro.service.fleet`), :class:`RateLimitedError` (429,
+  carries ``retry_after``), and :class:`QuotaExceededError` (429 for an
+  exhausted per-tenant quota -- a :class:`RateLimitedError` subclass
+  that bounded retry must *not* retry, because waiting does not
+  replenish a quota).  The same classes are raised server-side by
+  :mod:`repro.service.tenancy` and :mod:`repro.service.fleet` and
+  mapped onto HTTP statuses by the request handler.
 """
 
 from __future__ import annotations
@@ -186,6 +188,22 @@ class QuotaExceededError(RateLimitedError):
     both, but bounded retry skips it: waiting replenishes a token
     bucket, not a quota.
     """
+
+
+class LeaseExpiredError(ServiceResponseError):
+    """A work lease is unknown or already expired (HTTP 409).
+
+    Raised server-side by :class:`repro.service.fleet.WorkQueue` when a
+    worker heartbeats a lease that has been reclaimed, and client-side
+    for 409 responses.  A worker receiving it must abandon the batch:
+    the tasks have re-entered the ready set and another worker (or the
+    server's local fallback) owns them now.
+    """
+
+    def __init__(
+        self, message: str, status: int = 409, payload: Optional[Dict[str, Any]] = None
+    ) -> None:
+        super().__init__(message, status=status, payload=payload)
 
 
 class PayloadTooLargeError(ServiceResponseError):

@@ -212,6 +212,18 @@ def context(ctx: Optional[TraceContext]) -> _ContextScope:
     return _ContextScope(ctx)
 
 
+def parented(header: Optional[str]) -> _ContextScope:
+    """Scope manager: adopt a W3C ``traceparent`` header as the parent.
+
+    ``parented(item["traceparent"])`` is how a fleet worker attaches
+    its execution spans to the trace of the HTTP request that created
+    the work item -- across a process *and machine* boundary.  A
+    missing/malformed header yields a no-op scope, same as
+    :func:`context` with ``None``.
+    """
+    return _ContextScope(TraceContext.from_header(header))
+
+
 class _NoopSpan:
     """Shared do-nothing span: the entire disabled-tracing fast path."""
 
@@ -383,6 +395,7 @@ __all__ = [
     "Span",
     "span",
     "context",
+    "parented",
     "current_context",
     "enable",
     "disable",

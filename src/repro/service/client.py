@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
-from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import urlparse
 
 from repro.errors import (
     AuthenticationError,
+    LeaseExpiredError,
     PayloadTooLargeError,
     QuotaExceededError,
     RateLimitedError,
@@ -47,7 +49,8 @@ class ServiceClient:
     (missing/bad bearer token), :class:`~repro.errors.PayloadTooLargeError`
     for 413 (body over the server's cap),
     :class:`~repro.errors.UnknownResourceError` for 404 (unknown
-    jobs/paths), and for 429 either
+    jobs/paths), :class:`~repro.errors.LeaseExpiredError` for 409 (a
+    work lease was reclaimed), and for 429 either
     :class:`~repro.errors.QuotaExceededError` (the server said
     ``reason="quota"``) or :class:`~repro.errors.RateLimitedError`, both
     carrying ``retry_after``.  The server's ``error`` field becomes the
@@ -61,6 +64,16 @@ class ServiceClient:
 
     ``timeout`` (default 30 s) bounds every socket operation -- connect,
     send, and each read -- so a hung server can never hang the client.
+
+    ``retry_connect`` enables bounded automatic retry on
+    :class:`~repro.errors.ServiceConnectionError` for **idempotent GETs
+    only** -- up to that many extra attempts with jittered exponential
+    backoff, so a watcher (``task status --watch``) rides out a server
+    restart instead of dying on the first refused connection.  POSTs
+    are never connection-retried here: a submit whose response was lost
+    may have been accepted, and blind resubmission is the caller's
+    decision (content-addressed dedup makes it safe, but not this
+    layer's call).
     """
 
     def __init__(
@@ -71,17 +84,21 @@ class ServiceClient:
         token: Optional[str] = None,
         retry_rate_limited: int = 0,
         max_retry_wait: float = 5.0,
+        retry_connect: int = 0,
     ) -> None:
         if retry_rate_limited < 0:
             raise ServiceError(
                 f"retry_rate_limited must be >= 0, got {retry_rate_limited}"
             )
+        if retry_connect < 0:
+            raise ServiceError(f"retry_connect must be >= 0, got {retry_connect}")
         self.host = host
         self.port = int(port)
         self.timeout = timeout
         self.token = token
         self.retry_rate_limited = int(retry_rate_limited)
         self.max_retry_wait = float(max_retry_wait)
+        self.retry_connect = int(retry_connect)
 
     @classmethod
     def from_url(
@@ -90,6 +107,7 @@ class ServiceClient:
         timeout: float = 30.0,
         token: Optional[str] = None,
         retry_rate_limited: int = 0,
+        retry_connect: int = 0,
     ) -> "ServiceClient":
         """Build a client from ``http://host:port`` (the CLI ``--url`` form)."""
         parsed = urlparse(url if "//" in url else f"//{url}", scheme="http")
@@ -101,6 +119,7 @@ class ServiceClient:
             timeout=timeout,
             token=token,
             retry_rate_limited=retry_rate_limited,
+            retry_connect=retry_connect,
         )
 
     # ------------------------------------------------------------------
@@ -168,10 +187,25 @@ class ServiceClient:
         ``retry_rate_limited`` times, sleeping the server's
         ``retry_after`` (capped at ``max_retry_wait``) between attempts;
         quota rejections and every other status raise immediately.
+
+        A :class:`ServiceConnectionError` is retried (jittered
+        exponential backoff) up to ``retry_connect`` times, but only
+        for GETs -- see the class docstring for why POSTs never are.
         """
         attempts = 0
+        connect_attempts = 0
         while True:
-            status, doc = self._request(method, path, body, timeout=timeout)
+            try:
+                status, doc = self._request(method, path, body, timeout=timeout)
+            except ServiceConnectionError:
+                if method != "GET" or connect_attempts >= self.retry_connect:
+                    raise
+                # Jittered exponential backoff: restarts take a beat, and
+                # simultaneous watchers should not stampede the new server.
+                wait = min(0.1 * (2 ** connect_attempts), self.max_retry_wait)
+                time.sleep(wait * (0.5 + random.random()))
+                connect_attempts += 1
+                continue
             if status < 400:
                 return doc
             message = doc.get("error", f"{method} {path} returned HTTP {status}")
@@ -181,6 +215,8 @@ class ServiceClient:
                 raise AuthenticationError(message, status=status, payload=doc)
             if status == 404:
                 raise UnknownResourceError(message, status=status, payload=doc)
+            if status == 409:
+                raise LeaseExpiredError(message, status=status, payload=doc)
             if status == 413:
                 raise PayloadTooLargeError(message, status=status, payload=doc)
             if status == 429:
@@ -326,6 +362,51 @@ class ServiceClient:
                 f"(status={job_doc.get('status')!r}, error={job_doc.get('error')!r})"
             )
         return report_from_doc(job_doc["result"], backend=job_doc["spec"].get("backend"))
+
+    # -- distributed fleet (see repro.service.fleet / .worker) ---------
+
+    def claim_work(
+        self, worker: str, limit: int = 1, wait: float = 0.0
+    ) -> Dict[str, Any]:
+        """``POST /v1/work:claim`` -- lease up to ``limit`` ready items.
+
+        ``wait`` asks the server to hold the claim open (bounded
+        long-poll) until work appears.  Returns ``{"lease_id", "ttl",
+        "items": [{"digest", "kind", "payload", "traceparent",
+        "engine"}, ...]}``; an empty claim has ``lease_id: None``.
+        """
+        return self._checked(
+            "POST",
+            "/v1/work:claim",
+            {"worker": worker, "limit": int(limit), "wait": float(wait)},
+            # The socket must outlive the server-side hold.
+            timeout=float(wait) + self.timeout,
+        )
+
+    def heartbeat_work(self, worker: str, lease_id: str) -> Dict[str, Any]:
+        """``POST /v1/work:heartbeat`` -- renew a lease.
+
+        Raises :class:`~repro.errors.LeaseExpiredError` (409) when the
+        lease was reclaimed; the worker must abandon the batch.
+        """
+        return self._checked(
+            "POST", "/v1/work:heartbeat", {"worker": worker, "lease_id": lease_id}
+        )
+
+    def complete_work(
+        self, worker: str, lease_id: str, results: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """``POST /v1/work:complete`` -- land a batch of results.
+
+        Each result is ``{"digest", "ok", "doc"|"error"}``.  Returns
+        ``{"accepted", "dropped", "late"}`` -- a late completion (lease
+        already expired) is dropped server-side, not an error.
+        """
+        return self._checked(
+            "POST",
+            "/v1/work:complete",
+            {"worker": worker, "lease_id": lease_id, "results": list(results)},
+        )
 
     def shutdown(self) -> Dict[str, Any]:
         """``POST /v1/shutdown`` -- ask the server to stop gracefully."""

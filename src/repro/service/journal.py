@@ -23,6 +23,12 @@ lifecycle is over and their results are reachable through the cache, so
 keeping their lines only grows the file.  The rewrite is atomic
 (temp file + ``os.replace``) and preserves every non-terminal job as a
 ``submit`` line plus one latest-state line.
+
+When the distributed fleet is enabled the journal additionally carries
+``lease`` lines (:meth:`record_lease`) recording work-lease
+grant/complete/expire transitions; :meth:`replay_leases` folds them so
+restart recovery can count remote work that was in flight.  Lease lines
+are ephemeral -- compaction drops them.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.errors import JournalError
 
@@ -170,6 +176,34 @@ class JobJournal:
             doc["error"] = error
         self._append(doc)
 
+    def record_lease(
+        self,
+        lease_id: str,
+        worker: str,
+        status: str,
+        digests: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Record one work-lease transition (``granted``/``completed``/``expired``).
+
+        Lease lines exist so restart recovery can account for remote
+        work that was in flight when the server died (see
+        :meth:`WorkQueue.recover <repro.service.fleet.WorkQueue.recover>`).
+        They are *ephemeral* relative to job lifecycle: :meth:`compact`
+        drops them -- a compacted journal starts with a clean fleet
+        ledger, which is correct because compaction only runs on a live
+        server whose queue state supersedes the journal's.
+        """
+        doc: Dict[str, Any] = {
+            "format_version": JOURNAL_FORMAT_VERSION,
+            "event": "lease",
+            "lease_id": lease_id,
+            "worker": worker,
+            "status": status,
+        }
+        if digests is not None:
+            doc["digests"] = list(digests)
+        self._append(doc)
+
     # ------------------------------------------------------------------
     # Replay + compaction
     # ------------------------------------------------------------------
@@ -237,11 +271,52 @@ class JobJournal:
                     )
                 entry.status = status
                 entry.error = doc.get("error")
+            elif event == "lease":
+                continue  # fleet ledger lines; folded by replay_leases()
             else:
                 raise JournalError(
                     f"{self._path}:{lineno}: unknown journal event {event!r}"
                 )
         return entries
+
+    def replay_leases(self) -> "OrderedDict[str, Dict[str, Any]]":
+        """Fold lease lines into the latest state per lease id.
+
+        Returns ``{lease_id: {"worker", "status", "digests"}}`` in grant
+        order; a lease whose folded ``status`` is still ``"granted"``
+        was in flight when the journal last saw it.  Malformed lines
+        follow the same tolerance rules as :meth:`replay` (torn final
+        line skipped, anything else raises).
+        """
+        leases: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        with self._lock:
+            self._fh.flush()
+            try:
+                raw_lines = self._path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                return leases
+        for lineno, line in enumerate(raw_lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(raw_lines):
+                    continue
+                raise JournalError(
+                    f"{self._path}:{lineno}: journal line is not valid JSON"
+                )
+            if not isinstance(doc, dict) or doc.get("event") != "lease":
+                continue
+            lease_id = str(doc.get("lease_id"))
+            rec = leases.setdefault(
+                lease_id, {"worker": str(doc.get("worker")), "status": "granted", "digests": []}
+            )
+            rec["status"] = str(doc.get("status"))
+            if doc.get("digests") is not None:
+                rec["digests"] = [str(d) for d in doc["digests"]]
+        return leases
 
     def compact(self) -> Dict[str, int]:
         """Atomically drop fully-terminal jobs; keep the live frontier.

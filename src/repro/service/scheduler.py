@@ -207,6 +207,7 @@ class JobScheduler:
         tenancy: Optional[TenantRegistry] = None,
         watch_grace: float = 120.0,
         registry: Optional[Registry] = None,
+        fleet: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -258,6 +259,10 @@ class JobScheduler:
         self._journal: Optional[JobJournal] = journal
         self._recovered = False
         self.tenancy = tenancy
+        # The distributed WorkQueue when the server runs with the fleet
+        # enabled; referenced only for metrics and lease recovery (the
+        # executor wrapping happens in ServiceServer).
+        self._fleet = fleet
         # Long-poll watcher bookkeeping: active watcher counts, the
         # monotonic deadline until which a recently-watched job must
         # survive retention, and terminal jobs whose eviction was
@@ -555,6 +560,8 @@ class JobScheduler:
         doc["cache"] = self.cache.stats()
         if self.tenancy is not None:
             doc["tenants"] = self.tenancy.metrics()
+        if self._fleet is not None:
+            doc["fleet"] = self._fleet.metrics()
         # Execution detail only: kernel choice never enters spec digests,
         # so operators can flip REPRO_KERNEL without invalidating caches.
         from repro.core.kernels import kernel_table
@@ -600,6 +607,11 @@ class JobScheduler:
             if self._recovered:
                 return 0
             self._recovered = True
+        if self._fleet is not None:
+            # Leases granted but never completed before the crash: the
+            # remote work can no longer land (the queue restarts empty),
+            # so count what the restart cost the fleet.
+            self._fleet.recover(self._journal)
         entries = self._journal.replay()
         recovered = 0
         max_seen = 0

@@ -22,6 +22,11 @@ Endpoints
 ``GET /v1/tasks/<id>``   alias with live per-node task statuses; add
                          ``?watch=<version>[&timeout=<s>]`` to long-poll
                          until the job moves past that update version
+``POST /v1/work:claim``  (``serve --fleet``) lease a batch of ready work
+                         items for a remote worker -> ``{"lease_id",
+                         "ttl", "items": [...]}``
+``POST /v1/work:heartbeat``  renew a lease (409 once it expired)
+``POST /v1/work:complete``   land a worker's encoded results by digest
 ``POST /v1/shutdown``    acknowledge, then stop the server gracefully
 ======================  ====================================================
 
@@ -74,6 +79,7 @@ from urllib.parse import parse_qs, urlparse
 from repro._version import __version__
 from repro.errors import (
     AuthenticationError,
+    LeaseExpiredError,
     QuotaExceededError,
     RateLimitedError,
     ServiceError,
@@ -82,6 +88,7 @@ from repro.errors import (
 from repro.obs import trace as _trace
 from repro.obs.metrics import CounterMap, Registry, flatten_json_metrics
 from repro.service.cache import ResultCache
+from repro.service.fleet import DEFAULT_LEASE_TTL, FleetExecutor, WorkQueue
 from repro.service.journal import JobJournal
 from repro.service.scheduler import JobScheduler
 from repro.service.specs import describe_registry
@@ -437,6 +444,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"status": "shutting-down"})
             self.server.owner.stop_async()  # type: ignore[attr-defined]
             return
+        if path in ("/v1/work:claim", "/v1/work:heartbeat", "/v1/work:complete"):
+            # Fleet traffic authenticates like any tenant (handled in
+            # _dispatch) but bypasses submission rate limits and queue
+            # backpressure: claims *drain* the queue rather than fill
+            # it, and a throttled heartbeat would expire a healthy
+            # lease and trigger pointless recomputation.
+            self._post_work(path, tenant)
+            return
         if path not in ("/v1/runs", "/v1/sweeps", "/v1/tasks", "/v1/runs:batch"):
             self._send_json(404, {"error": f"unknown path {path!r}"})
             return
@@ -464,6 +479,55 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
             return
         self._send_json(202, job.to_doc(include_result=job.finished))
+
+    def _post_work(self, path: str, tenant: str) -> None:
+        """``/v1/work:*`` -- the fleet's claim/heartbeat/complete calls.
+
+        404 with a hint when the server was started without ``--fleet``;
+        a reclaimed lease answers 409 (the client raises
+        :class:`~repro.errors.LeaseExpiredError`).
+        """
+        queue: Optional[WorkQueue] = getattr(self.server, "fleet", None)
+        if queue is None:
+            self._send_json(
+                404,
+                {"error": f"{path!r} requires the worker fleet (start with serve --fleet)"},
+            )
+            return
+        try:
+            body = self._read_json()
+        except _PayloadTooLarge as exc:
+            self._send_too_large(exc)
+            return
+        except SpecError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        worker = str(body.get("worker") or tenant)
+        try:
+            if path == "/v1/work:claim":
+                tenancy: Optional[TenantRegistry] = getattr(self.server, "tenancy", None)
+                if tenancy is not None:
+                    tenancy.on_worker_claim(tenant)
+                doc = queue.claim(
+                    worker,
+                    limit=int(body.get("limit", 1)),
+                    wait=float(body.get("wait", 0.0)),
+                )
+            elif path == "/v1/work:heartbeat":
+                doc = queue.heartbeat(worker, str(body.get("lease_id")))
+            else:
+                results = body.get("results")
+                if not isinstance(results, list):
+                    self._send_json(400, {"error": "'results' must be a list"})
+                    return
+                doc = queue.complete(worker, str(body.get("lease_id")), results)
+        except LeaseExpiredError as exc:
+            self._send_json(409, {"error": str(exc)})
+            return
+        except (TypeError, ValueError) as exc:
+            self._send_json(400, {"error": f"malformed work request: {exc}"})
+            return
+        self._send_json(200, doc)
 
     def _send_too_large(self, exc: _PayloadTooLarge) -> None:
         """413 without reading the body; close so framing stays clean."""
@@ -560,6 +624,18 @@ class ServiceServer:
         When true, emit one structured JSON line per request (method,
         path, tenant, status, duration, queue depth) to ``log_stream``
         (default ``sys.stderr``).
+    fleet:
+        Enable the distributed worker fleet: ``/v1/work:*`` endpoints
+        go live and run work is offered to remote ``repro worker``
+        processes before falling back to local execution (see
+        :mod:`repro.service.fleet`).
+    lease_ttl:
+        Seconds a worker lease survives without a heartbeat (fleet
+        only).
+    claim_deadline:
+        Seconds offered work waits for a remote claim before the local
+        fallback takes it (fleet only; collapses to zero while no
+        worker has been seen recently).
 
     Use as a context manager (``with ServiceServer() as srv:``) or call
     :meth:`start` / :meth:`stop` explicitly.  :meth:`serve_forever`
@@ -586,6 +662,9 @@ class ServiceServer:
         request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
         access_log: bool = False,
         log_stream: Optional[TextIO] = None,
+        fleet: bool = False,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        claim_deadline: float = 2.0,
     ) -> None:
         if max_body_bytes < 1:
             raise ServiceError(f"max_body_bytes must be >= 1, got {max_body_bytes}")
@@ -607,6 +686,25 @@ class ServiceServer:
             tenancy = TenantRegistry(default_limits=tenant_limits)
         self.auth = auth
         self.tenancy = tenancy
+        #: The distributed work queue (``serve --fleet``), or ``None``.
+        #: When enabled, the scheduler's executor is wrapped in a
+        #: :class:`FleetExecutor`: addressable run work is offered to
+        #: remote workers first and falls back to the local executor
+        #: after ``claim_deadline`` (immediately while no worker has
+        #: been seen), so a fleetless server behaves like a plain one.
+        self.fleet: Optional[WorkQueue] = None
+        if fleet:
+            if journal is not None and not isinstance(journal, JobJournal):
+                # The queue and the scheduler must share one journal
+                # instance so lease lines and job lifecycle interleave
+                # in a single ledger.
+                journal = JobJournal(journal)
+            self.fleet = WorkQueue(
+                cache=cache, lease_ttl=lease_ttl, journal=journal
+            )
+            executor = FleetExecutor(
+                self.fleet, fallback=executor, claim_deadline=claim_deadline
+            )
         #: One typed-metrics registry for the whole service: the
         #: scheduler's lifecycle counters and the HTTP layer's
         #: counters/latency histogram all register here, so a single
@@ -619,6 +717,7 @@ class ServiceServer:
             journal=journal,
             tenancy=tenancy,
             registry=self.registry,
+            fleet=self.fleet,
         )
         self._httpd = _ThreadingServer((host, port), _Handler)
         self._httpd.scheduler = self.scheduler  # type: ignore[attr-defined]
@@ -627,6 +726,7 @@ class ServiceServer:
         self._httpd.auth = auth  # type: ignore[attr-defined]
         self._httpd.tenancy = tenancy  # type: ignore[attr-defined]
         self._httpd.max_queue_depth = max_queue_depth  # type: ignore[attr-defined]
+        self._httpd.fleet = self.fleet  # type: ignore[attr-defined]
         self._httpd.request_timeout = request_timeout  # type: ignore[attr-defined]
         self._httpd.access_log_stream = (  # type: ignore[attr-defined]
             (log_stream or sys.stderr) if access_log else None

@@ -66,8 +66,11 @@ from repro.service.specs import (
 TASK_VERSION = 1
 
 #: Node states a task moves through inside a graph run.  ``poisoned``
-#: marks tasks skipped because an upstream dependency failed.
-TASK_STATES = ("pending", "running", "done", "failed", "poisoned")
+#: marks tasks skipped because an upstream dependency failed;
+#: ``pruned`` marks tasks skipped because they lie outside the
+#: transitive input cone of the requested outputs (never started, not
+#: an error).
+TASK_STATES = ("pending", "running", "done", "failed", "poisoned", "pruned")
 
 
 # ----------------------------------------------------------------------
@@ -507,8 +510,10 @@ class GraphRun:
 
     @property
     def ok(self) -> bool:
-        """True iff every task reached ``done``."""
-        return all(s["status"] == "done" for s in self.statuses.values())
+        """True iff every task reached ``done`` (or was pruned away)."""
+        return all(
+            s["status"] in ("done", "pruned") for s in self.statuses.values()
+        )
 
     def result(self, digest: str) -> Dict[str, Any]:
         """The result document of one task; raises if it did not finish."""
@@ -600,9 +605,14 @@ class TaskGraphRunner:
     ) -> GraphRun:
         """Execute the graph; returns per-node statuses, results, stats.
 
-        ``outputs`` is accepted for symmetry with graph submissions but
-        does not restrict execution: every task runs (or cache-hits) --
-        pruning to the output cone is a cheap future optimization.
+        ``outputs`` (when given) restricts execution to the transitive
+        *input cone* of the requested digests: tasks nothing requested
+        depends on are marked ``pruned`` and never probed, claimed, or
+        computed.  The cone is transitively closed over inputs, so a
+        pruned task is never an input of an executed one.  Requesting
+        the graph's sinks (the submission default) covers every node --
+        all tasks feed some sink -- so default submissions behave
+        exactly as before; ``outputs=None`` runs everything.
         """
         run = GraphRun(
             statuses=initial_statuses(graph),
@@ -613,6 +623,7 @@ class TaskGraphRunner:
                 "runs_computed": 0,
                 "failed": 0,
                 "poisoned": 0,
+                "pruned": 0,
             },
         )
         pending = list(graph.order)
@@ -622,6 +633,21 @@ class TaskGraphRunner:
             run.statuses[digest].update(changes)
             if self._on_update is not None:
                 self._on_update(digest, dict(run.statuses[digest]))
+
+        if outputs is not None:
+            cone: set = set()
+            frontier = [d for d in outputs if d in graph]
+            while frontier:
+                digest = frontier.pop()
+                if digest in cone:
+                    continue
+                cone.add(digest)
+                frontier.extend(graph[digest].inputs)
+            for digest in pending:
+                if digest not in cone:
+                    run.stats["pruned"] += 1
+                    mark(digest, status="pruned")
+            pending = [d for d in pending if d in cone]
 
         def finish_ok(digest: str, doc: Dict[str, Any], cached: bool) -> None:
             run.results[digest] = doc

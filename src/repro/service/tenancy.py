@@ -217,6 +217,10 @@ class TenantAccount:
     submitted: int = 0
     rate_limited: int = 0
     quota_rejections: int = 0
+    #: Fleet work claims made under this tenant's token (workers
+    #: authenticate exactly like tenants); accounting only -- claims
+    #: drain work, so they are never rate-limited or quota-charged.
+    worker_claims: int = 0
 
     def to_doc(self) -> Dict[str, Any]:
         """The per-tenant block ``/metrics`` serves."""
@@ -230,6 +234,7 @@ class TenantAccount:
             "rate": self.limits.rate,
             "rate_limited": self.rate_limited,
             "quota_rejections": self.quota_rejections,
+            "worker_claims": self.worker_claims,
         }
 
 
@@ -334,6 +339,16 @@ class TenantRegistry:
             account = self._account(tenant)
             account.submitted += 1
             account.active_jobs += 1
+
+    def on_worker_claim(self, tenant: str) -> None:
+        """Record one fleet ``work:claim`` made under this tenant's token.
+
+        Pure accounting: claiming work *drains* the queue, so it passes
+        no rate limiter and charges no quota (a throttled heartbeat or
+        claim would expire healthy leases and trigger recomputation).
+        """
+        with self._lock:
+            self._account(tenant).worker_claims += 1
 
     def on_cached(self, tenant: str, digest: str, nbytes: int) -> None:
         """Record a submission answered straight from the cache.

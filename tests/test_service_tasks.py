@@ -267,6 +267,7 @@ class TestExecution:
             "runs_computed": 1,
             "failed": 0,
             "poisoned": 0,
+            "pruned": 0,
         }
 
 
